@@ -1,0 +1,77 @@
+"""Ablation: signature precision vs. squash rate.
+
+DESIGN.md §5.1 replaces Table 5's literal 2 Kbit flat Bloom filter with
+a sparse filter over a larger hash space, calibrated so alias squashes
+are rare (as BulkSC's structured signatures achieve in hardware).  This
+ablation measures what the deviation buys: squash rate, wasted work and
+record speed as the hash space shrinks from the default 2^21 down to a
+literal flat 2^11, on a sharing-heavy workload.
+
+Expected shape: squash rate rises monotonically as the space shrinks;
+the literal flat 2 Kbit filter is catastrophic (false positives on most
+chunk pairs), which is exactly why the deviation exists.
+"""
+
+from dataclasses import replace
+
+from repro.chunks.signature import SignatureConfig
+from repro.core.delorean import DeLoreanSystem
+from repro.core.modes import ExecutionMode
+from repro.machine.timing import MachineConfig
+
+from harness import emit, program_for, run_once
+
+SPACES = (1 << 11, 1 << 13, 1 << 15, 1 << 18, 1 << 21)
+_APPS = ("fft", "barnes")
+_SCALE = 0.4
+
+
+def compute_ablation():
+    results = {}
+    for size_bits in SPACES:
+        config = replace(
+            MachineConfig(),
+            signature=SignatureConfig(size_bits=size_bits,
+                                      num_hashes=1))
+        per_app = {}
+        for app in _APPS:
+            system = DeLoreanSystem(mode=ExecutionMode.ORDER_ONLY,
+                                    machine_config=config)
+            recording = system.record(
+                program_for(app, scale=_SCALE))
+            stats = recording.stats
+            per_app[app] = {
+                "squash_rate": stats.squash_rate,
+                "wasted": stats.wasted_instruction_fraction,
+                "cycles": stats.cycles,
+            }
+        results[size_bits] = per_app
+    return results
+
+
+def test_ablation_signature_space(benchmark):
+    results = run_once(benchmark, compute_ablation)
+    rows = []
+    for size_bits in SPACES:
+        for app in _APPS:
+            entry = results[size_bits][app]
+            rows.append([f"2^{size_bits.bit_length() - 1}", app,
+                         entry["squash_rate"],
+                         100 * entry["wasted"],
+                         entry["cycles"]])
+    emit("Ablation -- signature hash space vs squash behaviour "
+         "(OrderOnly)",
+         ["hash space", "app", "squash/chunk", "wasted %", "cycles"],
+         rows)
+
+    for app in _APPS:
+        tiny = results[SPACES[0]][app]
+        default = results[SPACES[-1]][app]
+        # The literal flat 2 Kbit filter squashes wildly more than the
+        # calibrated default, and costs real time.
+        assert tiny["squash_rate"] > 4 * max(
+            0.01, default["squash_rate"]), app
+        assert tiny["cycles"] > default["cycles"], app
+        # Shrinking the space never *reduces* squashes (monotone up to
+        # noise): compare the two extremes only.
+        assert tiny["wasted"] >= default["wasted"], app

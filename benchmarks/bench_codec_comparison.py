@@ -1,0 +1,87 @@
+"""Log-compression codecs at simulation scale (Section 5 follow-up).
+
+The paper's log buffers compress with LZ77 hardware, effective at the
+authors' scale (hours of execution, billions of chunks).  Our
+simulated runs are ~10^2-10^3 commits, and EXPERIMENTS.md documents
+that LZ77 rarely finds the exact long repeats it needs there -- the
+figure-6/7/8 "compressed" series mostly sit at the raw-size bypass
+cap.
+
+This bench asks whether that is a property of the *log* or of the
+*codec*, and the answer is a structure claim about chunked execution:
+
+* **Move-to-front fails too.**  The PI stream has no recency locality
+  to exploit -- fair commit arbitration rotates grants over the ready
+  processors, so repeats are *rare* and MTF ranks pile up at the deep
+  (expensive) end.
+* **The inverse prediction works.**  The same fairness makes the
+  least-recently-granted processor the most likely next committer, so
+  LRU-rank coding (:class:`repro.compression.entropy.LRURankCodec`)
+  compresses every SPLASH-2 PI stream (0.6-1.0x raw) at a scale where
+  LZ77 and MTF both sit at the bypass cap.
+* **Commercial streams resist.**  Interrupt and DMA service breaks
+  the rotation, LRU ranks scatter, and the bypass cap (never worse
+  than raw) is what ships -- the cap is load-bearing, not decorative.
+"""
+
+from repro.core.modes import ExecutionMode
+
+from harness import ALL_APPS, COMMERCIAL, SPLASH2, emit, record_app, run_once
+from repro.analysis.report import geometric_mean
+
+
+# The structure claim needs streams long enough to amortize the LRU
+# warmup escapes, so the scale is pinned (like the other calibrated
+# benches) instead of following REPRO_BENCH_SCALE.
+_SCALE = 1.0
+
+
+def _one_app(app: str):
+    _, recording = record_app(app, ExecutionMode.ORDER_ONLY,
+                              scale_key=_SCALE)
+    pi_log = recording.pi_log
+    return {
+        "raw": pi_log.size_bits,
+        "lz77": pi_log.compressed_size_bits(),
+        "mtf": pi_log.mtf_compressed_size_bits(),
+        "lru": pi_log.lru_compressed_size_bits(),
+    }
+
+
+def compute_comparison():
+    return {app: _one_app(app) for app in ALL_APPS}
+
+
+def test_codec_comparison(benchmark):
+    results = run_once(benchmark, compute_comparison)
+    rows = []
+    for app in ALL_APPS:
+        entry = results[app]
+        rows.append([
+            app, entry["raw"], entry["lz77"], entry["mtf"],
+            entry["lru"],
+            f"{entry['lru'] / entry['raw']:.2f}",
+        ])
+    emit("PI-log compression at simulation scale: LZ77 vs MTF vs "
+         "LRU-rank (OrderOnly, bits; all codecs capped at raw)",
+         ["app", "raw", "LZ77", "MTF", "LRU", "LRU ratio"], rows)
+
+    # The bypass cap holds for every codec on every app.
+    for app in ALL_APPS:
+        entry = results[app]
+        for codec in ("lz77", "mtf", "lru"):
+            assert entry[codec] <= entry["raw"], (app, codec)
+    # At this scale LZ77 and MTF find nothing: they sit at the cap.
+    for app in ALL_APPS:
+        assert results[app]["lz77"] >= 0.95 * results[app]["raw"], app
+        assert results[app]["mtf"] >= 0.95 * results[app]["raw"], app
+    # LRU-rank compresses the fair-rotation (SPLASH-2) streams...
+    splash_ratios = [results[app]["lru"] / results[app]["raw"]
+                     for app in SPLASH2]
+    assert sum(1 for r in splash_ratios if r < 1.0) >= \
+        len(SPLASH2) - 2
+    assert geometric_mean(splash_ratios) < 0.88
+    # ...while the interrupt/DMA-perturbed commercial streams fall
+    # back to the bypass.
+    for app in COMMERCIAL:
+        assert results[app]["lru"] == results[app]["raw"], app

@@ -1,0 +1,103 @@
+"""Figure 6: size of the PI and CS logs in OrderOnly.
+
+Paper series: bits per processor per kilo-instruction for standard
+chunk sizes of 1000/2000/3000 instructions, uncompressed and
+compressed, for SPLASH-2 (geometric mean), SPECjbb2000 and SPECweb2005,
+against the estimated compressed Basic-RTR reference line.
+
+Paper numbers for the preferred 2000-instruction configuration: 2.1
+bits raw / 1.3 bits compressed per processor per kilo-instruction, with
+a negligible CS-log contribution (Section 6.1).
+"""
+
+from repro.core.modes import ExecutionMode
+
+from harness import (
+    COMMERCIAL,
+    PAPER,
+    PAPER_RTR_BITS_PER_PROC_PER_KILOINST,
+    SPLASH2,
+    emit,
+    record_app,
+    run_once,
+    splash2_gm,
+)
+
+CHUNK_SIZES = (1000, 2000, 3000)
+
+
+def _log_sizes(app: str, chunk_size: int):
+    _, recording = record_app(app, ExecutionMode.ORDER_ONLY,
+                              chunk_size=chunk_size)
+    instructions = recording.total_committed_instructions
+    ordering = recording.memory_ordering
+    scale = 1000.0 / max(1, instructions)
+    return {
+        "pi_raw": ordering.pi_size_bits(False) * scale,
+        "pi_comp": ordering.pi_size_bits(True) * scale,
+        "cs_raw": ordering.cs_size_bits(False) * scale,
+        "cs_comp": ordering.cs_size_bits(True) * scale,
+        "total_raw": ordering.total_size_bits(False) * scale,
+        "total_comp": ordering.total_size_bits(True) * scale,
+    }
+
+
+def compute_figure():
+    results = {}
+    for chunk_size in CHUNK_SIZES:
+        by_app = {app: _log_sizes(app, chunk_size)
+                  for app in SPLASH2 + COMMERCIAL}
+        results[chunk_size] = by_app
+    return results
+
+
+def test_fig06_orderonly_log_size(benchmark):
+    results = run_once(benchmark, compute_figure)
+    rows = []
+    for chunk_size in CHUNK_SIZES:
+        by_app = results[chunk_size]
+        for label, apps in (("SP2-G.M.", SPLASH2),
+                            ("sjbb2k", ["sjbb2k"]),
+                            ("sweb2005", ["sweb2005"])):
+            agg = {key: splash2_gm({a: by_app[a][key] for a in SPLASH2})
+                   if label == "SP2-G.M." else by_app[apps[0]][key]
+                   for key in by_app[apps[0]]}
+            rows.append([label, chunk_size, agg["pi_raw"],
+                         agg["cs_raw"], agg["total_raw"],
+                         agg["total_comp"]])
+    emit("Figure 6 -- OrderOnly PI+CS log size "
+         "(bits/proc/kilo-instruction)",
+         ["workload", "chunk", "PI raw", "CS raw", "total raw",
+          "total comp"],
+         rows)
+    from repro.analysis.charts import bar_chart
+    print()
+    print(bar_chart(
+        [f"chunk {c}" for c in CHUNK_SIZES],
+        [splash2_gm({a: results[c][a]["total_raw"] for a in SPLASH2})
+         for c in CHUNK_SIZES],
+        title="Figure 6, SP2-G.M. total raw bits (bars):",
+        reference=PAPER_RTR_BITS_PER_PROC_PER_KILOINST,
+        reference_label="Basic RTR"))
+    print(f"Basic RTR reference line (paper estimate): "
+          f"{PAPER_RTR_BITS_PER_PROC_PER_KILOINST} bits/proc/kinst")
+    print(f"Paper, preferred 2000-inst config: "
+          f"{PAPER['orderonly_log_bits_raw']} raw / "
+          f"{PAPER['orderonly_log_bits_compressed']} compressed")
+
+    # Shape assertions.
+    for label, apps in (("gm", SPLASH2),):
+        sizes = [splash2_gm({a: results[c][a]["total_raw"]
+                             for a in SPLASH2}) for c in CHUNK_SIZES]
+        # Log size shrinks as chunks grow (fewer commits to log).
+        assert sizes[0] > sizes[1] > sizes[2]
+    gm_2000 = splash2_gm({a: results[2000][a]["total_raw"]
+                          for a in SPLASH2})
+    assert 1.5 < gm_2000 < 4.5   # paper: 2.1 raw
+    cs_gm = splash2_gm({a: results[2000][a]["cs_raw"]
+                        for a in SPLASH2})
+    assert cs_gm < 0.3 * gm_2000  # CS log is negligible
+    comp = splash2_gm({a: results[2000][a]["total_comp"]
+                       for a in SPLASH2})
+    assert comp <= gm_2000
+    assert comp < PAPER_RTR_BITS_PER_PROC_PER_KILOINST

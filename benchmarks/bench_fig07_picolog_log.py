@@ -1,0 +1,86 @@
+"""Figure 7: size of the CS log in PicoLog (there is no PI log).
+
+Paper series: bits per processor per kilo-instruction for standard
+chunk sizes of 1000/2000/3000, raw and compressed.  The preferred
+1000-instruction configuration needs only about 0.05 compressed bits --
+0.6% of the estimated Basic-RTR log, or roughly 20 GB/day for eight
+5 GHz processors (Section 6.1).
+"""
+
+from repro.core.modes import ExecutionMode
+
+from harness import (
+    COMMERCIAL,
+    PAPER,
+    PAPER_RTR_BITS_PER_PROC_PER_KILOINST,
+    SPLASH2,
+    emit,
+    record_app,
+    run_once,
+    splash2_gm,
+)
+
+CHUNK_SIZES = (1000, 2000, 3000)
+
+
+def _cs_sizes(app: str, chunk_size: int):
+    _, recording = record_app(app, ExecutionMode.PICOLOG,
+                              chunk_size=chunk_size)
+    ordering = recording.memory_ordering
+    scale = 1000.0 / max(1, recording.total_committed_instructions)
+    return {
+        "cs_raw": ordering.cs_size_bits(False) * scale,
+        "cs_comp": ordering.cs_size_bits(True) * scale,
+        "pi": ordering.pi_size_bits(False),
+    }
+
+
+def _mean(values):
+    """Arithmetic mean: the CS log is near-zero, where a geometric
+    mean over zeros would be degenerate."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def compute_figure():
+    return {chunk_size: {app: _cs_sizes(app, chunk_size)
+                         for app in SPLASH2 + COMMERCIAL}
+            for chunk_size in CHUNK_SIZES}
+
+
+def _gigabytes_per_day(bits_per_proc_per_kiloinst: float,
+                       procs: int = 8, ghz: float = 5.0,
+                       ipc: float = 1.0) -> float:
+    """The paper's 20 GB/day estimate methodology (Section 6.1)."""
+    instructions_per_day = procs * ghz * 1e9 * ipc * 86400
+    bits = bits_per_proc_per_kiloinst * instructions_per_day / 1000.0
+    return bits / 8 / 1e9
+
+
+def test_fig07_picolog_log_size(benchmark):
+    results = run_once(benchmark, compute_figure)
+    rows = []
+    for chunk_size in CHUNK_SIZES:
+        by_app = results[chunk_size]
+        gm_raw = _mean(by_app[a]["cs_raw"] for a in SPLASH2)
+        gm_comp = _mean(by_app[a]["cs_comp"] for a in SPLASH2)
+        rows.append(["SP2-mean", chunk_size, gm_raw, gm_comp])
+        for app in COMMERCIAL:
+            rows.append([app, chunk_size, by_app[app]["cs_raw"],
+                         by_app[app]["cs_comp"]])
+    emit("Figure 7 -- PicoLog CS log size (bits/proc/kilo-instruction; "
+         "no PI log)",
+         ["workload", "chunk", "CS raw", "CS comp"], rows)
+    preferred = _mean(results[1000][a]["cs_comp"] for a in SPLASH2)
+    print(f"Preferred 1000-inst config, SP2-G.M. compressed: "
+          f"{preferred:.3f} bits (paper: "
+          f"{PAPER['picolog_log_bits_compressed']})")
+    print(f"Estimated log for 8x5GHz at IPC 1: "
+          f"{_gigabytes_per_day(preferred):.1f} GB/day (paper: ~20)")
+
+    # Shape assertions.
+    for chunk_size in CHUNK_SIZES:
+        for app in SPLASH2 + COMMERCIAL:
+            assert results[chunk_size][app]["pi"] == 0  # no PI log
+            assert results[chunk_size][app]["cs_raw"] < 1.0
+    assert preferred < 0.15 * PAPER_RTR_BITS_PER_PROC_PER_KILOINST

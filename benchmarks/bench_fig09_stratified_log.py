@@ -1,0 +1,68 @@
+"""Figure 9: PI-log size in OrderOnly without and with stratification.
+
+Paper series: the 2000-instruction OrderOnly PI log, compressed,
+normalized to the unstratified design, for 1/3/7 committed chunks per
+processor per stratum.  One chunk per processor per stratum shrinks the
+PI log by ~54% on average (yielding ~0.6 bits/proc/kiloinst total);
+seven chunks per stratum wastes space on SPECweb2005.
+"""
+
+from repro.core.modes import ExecutionMode
+
+from harness import (
+    COMMERCIAL,
+    PAPER,
+    SPLASH2,
+    emit,
+    record_app,
+    run_once,
+    splash2_gm,
+)
+
+CAPS = (1, 3, 7)
+
+
+def _stratified(app: str):
+    _, recording = record_app(app, ExecutionMode.ORDER_ONLY)
+    ordering = recording.memory_ordering
+    plain = ordering.pi_size_bits(False)
+    out = {"plain": plain}
+    for cap, (raw, comp) in ordering.stratified_by_cap.items():
+        out[cap] = raw
+        out[f"{cap}c"] = comp
+    return out
+
+
+def compute_figure():
+    return {app: _stratified(app) for app in SPLASH2 + COMMERCIAL}
+
+
+def test_fig09_stratified_pi_log(benchmark):
+    results = run_once(benchmark, compute_figure)
+    rows = []
+    for label, apps in (("SP2-G.M.", SPLASH2), ("sjbb2k", ["sjbb2k"]),
+                        ("sweb2005", ["sweb2005"])):
+        def agg(key):
+            if label == "SP2-G.M.":
+                return splash2_gm({a: results[a][key] / results[a][
+                    "plain"] for a in SPLASH2})
+            return results[apps[0]][key] / results[apps[0]]["plain"]
+        rows.append([label, 1.0, agg(1), agg(3), agg(7)])
+    emit("Figure 9 -- Stratified PI log size, normalized to the "
+         "unstratified OrderOnly PI log (raw bits)",
+         ["workload", "OrderOnly", "1/stratum", "3/stratum",
+          "7/stratum"], rows)
+    reduction = 1.0 - splash2_gm(
+        {a: results[a][1] / results[a]["plain"] for a in SPLASH2})
+    print(f"Average PI-log reduction with 1 chunk/proc/stratum: "
+          f"{100 * reduction:.0f}% (paper: "
+          f"{100 * PAPER['stratified_pi_reduction']:.0f}%)")
+
+    # Shape assertions.
+    for app in SPLASH2 + COMMERCIAL:
+        # Stratification with cap 1 always shrinks the PI log.
+        assert results[app][1] < results[app]["plain"], app
+    assert 0.30 < reduction < 0.75  # paper: 54%
+    # Allowing 7 chunks/proc/stratum wastes space relative to 3 (wide
+    # counters, sparse strata) -- the paper singles out SPECweb2005.
+    assert results["sweb2005"][7] > results["sweb2005"][3]

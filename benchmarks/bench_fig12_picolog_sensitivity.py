@@ -1,0 +1,92 @@
+"""Figure 12: PicoLog performance sensitivity (SPLASH-2 only).
+
+Paper sweep: performance relative to RC on the same processor count,
+for 4/8/16 processors x standard chunk sizes of 500/1000/2000/3000 x
+1..16 simultaneous chunks per processor.  Headline shapes:
+
+* more processors lower PicoLog's relative performance (longer token
+  roundtrips, more squashes);
+* extra simultaneous chunks help, with fast diminishing returns;
+* large chunks are harmless at 4-8 processors but hurt at 16.
+
+To keep the sweep tractable the bench uses a representative SPLASH-2
+subset and a reduced workload scale; the shape, not the absolute
+numbers, is what the assertions pin down.
+"""
+
+from repro.core.modes import ExecutionMode
+
+from harness import (
+    emit,
+    rc_cycles,
+    record_app,
+    run_once,
+)
+from repro.analysis.report import geometric_mean
+
+APPS = ("fft", "lu", "radix", "water-sp")
+PROCS = (4, 8, 16)
+CHUNK_SIZES = (500, 1000, 2000, 3000)
+SIMULTANEOUS = (1, 2, 3, 4, 8)
+_SCALE = 0.35   # the full grid is 60 cells x 4 apps
+
+
+def _relative(procs: int, chunk_size: int, simultaneous: int) -> float:
+    speedups = []
+    for app in APPS:
+        rc = rc_cycles(app, num_threads=procs, scale_key=_SCALE)
+        _, recording = record_app(
+            app, ExecutionMode.PICOLOG, chunk_size=chunk_size,
+            num_threads=procs, simultaneous=simultaneous,
+            scale_key=_SCALE)
+        speedups.append(rc / recording.stats.cycles)
+    return geometric_mean(speedups)
+
+
+def compute_figure():
+    return {
+        (procs, chunk_size, simultaneous):
+            _relative(procs, chunk_size, simultaneous)
+        for procs in PROCS
+        for chunk_size in CHUNK_SIZES
+        for simultaneous in SIMULTANEOUS
+    }
+
+
+def test_fig12_picolog_sensitivity(benchmark):
+    results = run_once(benchmark, compute_figure)
+    for procs in PROCS:
+        rows = []
+        for chunk_size in CHUNK_SIZES:
+            rows.append([chunk_size] + [
+                results[(procs, chunk_size, s)] for s in SIMULTANEOUS])
+        emit(f"Figure 12({chr(96 + PROCS.index(procs) + 1)}) -- "
+             f"PicoLog speed vs RC, {procs} processors "
+             f"(SPLASH-2 subset GM)",
+             ["chunk\\simul"] + [str(s) for s in SIMULTANEOUS], rows)
+
+    def mean_over(procs):
+        return geometric_mean([
+            results[(procs, c, 2)] for c in CHUNK_SIZES])
+
+    # More processors => lower relative performance.
+    assert mean_over(4) > mean_over(16)
+    # A second simultaneous chunk helps; returns then diminish.
+    for procs in PROCS:
+        one = geometric_mean([results[(procs, c, 1)]
+                              for c in CHUNK_SIZES])
+        two = geometric_mean([results[(procs, c, 2)]
+                              for c in CHUNK_SIZES])
+        eight = geometric_mean([results[(procs, c, 8)]
+                                for c in CHUNK_SIZES])
+        assert two > one, procs
+        assert eight - two < two - one + 0.02, procs
+    # Scaling the machine hurts at every chunk size (paper: 87% at 4
+    # processors falls to 77% at 16 for 1000-instruction chunks).
+    # NOTE (EXPERIMENTS.md): the paper additionally reports that
+    # *large* chunks hurt specifically at 16 processors via extra
+    # conflicts; in this model the dominant 16-processor cost is
+    # commit-token throughput, which penalizes *small* chunks instead,
+    # so that secondary trend is not reproduced.
+    for chunk in CHUNK_SIZES:
+        assert results[(16, chunk, 2)] < results[(4, chunk, 2)], chunk

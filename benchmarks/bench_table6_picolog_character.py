@@ -1,0 +1,76 @@
+"""Table 6: characterizing PicoLog (8 processors).
+
+Paper columns per application: average ready processors, average
+parallel commits, percentage of token acquisitions finding the
+processor ready, wait-for-token cycles, wait-for-complete cycles, token
+roundtrip cycles, and stall-cycle percentage.  Headline shape: ~2.6-3.0
+chunks commit together out of 4.2-5.2 ready processors; processors are
+ready at 77-84% of token acquisitions; roundtrips are hundreds to
+thousands of cycles; raytrace stalls the most (squash concentration +
+imbalance), radix waits on completion rather than stalling.
+"""
+
+from repro.core.modes import ExecutionMode
+
+from harness import (
+    ALL_APPS,
+    SPLASH2,
+    emit,
+    record_app,
+    run_once,
+)
+from repro.analysis.report import geometric_mean
+
+
+def compute_table():
+    rows = {}
+    for app in ALL_APPS:
+        _, recording = record_app(app, ExecutionMode.PICOLOG)
+        stats = recording.stats
+        summary = stats.token_summary
+        rows[app] = {
+            "ready_procs": summary["ready_procs_avg"],
+            "actual_commit": summary["actual_commit_avg"],
+            "proc_ready_pct": summary["proc_ready_pct"],
+            "wait_token": summary["wait_token_cycles"],
+            "wait_complete": summary["wait_complete_cycles"],
+            "roundtrip": summary["token_roundtrip_cycles"],
+            "stall_pct": 100.0 * stats.stall_fraction,
+        }
+    return rows
+
+
+COLUMNS = ["ready_procs", "actual_commit", "proc_ready_pct",
+           "wait_token", "wait_complete", "roundtrip", "stall_pct"]
+
+
+def test_table6_picolog_characterization(benchmark):
+    rows = run_once(benchmark, compute_table)
+    table = [[app] + [rows[app][c] for c in COLUMNS]
+             for app in ALL_APPS]
+    gm = ["SP2-G.M."] + [
+        geometric_mean([rows[a][c] for a in SPLASH2]) for c in COLUMNS]
+    table.insert(len(SPLASH2), gm)
+    emit("Table 6 -- characterizing PicoLog (8 processors)",
+         ["app", "ReadyProcs", "ActualCommit", "ProcReady%",
+          "WaitToken", "WaitCplete", "TokenRndtrip", "Stall%"],
+        table)
+
+    # Shape assertions against the paper's ranges (coarse bands).
+    for app in ALL_APPS:
+        row = rows[app]
+        assert 1.0 <= row["actual_commit"] <= 5.0, app
+        assert row["ready_procs"] >= row["actual_commit"] * 0.8, app
+        assert 40.0 <= row["proc_ready_pct"] <= 100.0, app
+        assert 200 <= row["roundtrip"] <= 6000, app
+        assert row["wait_token"] < row["roundtrip"], app
+        assert 0.0 <= row["stall_pct"] <= 45.0, app
+    # The imbalanced/system-heavy workloads stall the most.  (The
+    # paper's stall outlier is raytrace; in our substitution raytrace's
+    # imbalance instead idles finished processors, which the token
+    # legally skips, so the commercial apps take the outlier role --
+    # see EXPERIMENTS.md.)
+    splash_avg = geometric_mean(
+        [max(0.1, rows[a]["stall_pct"]) for a in SPLASH2])
+    assert rows["sweb2005"]["stall_pct"] > splash_avg
+    assert rows["sjbb2k"]["stall_pct"] > splash_avg

@@ -1,0 +1,149 @@
+"""Shared infrastructure for the benchmark/experiment harness.
+
+Every table and figure of the paper's evaluation (Section 6) has one
+bench module that regenerates it.  This module provides cached program
+construction and simulation runs so figures that share runs (e.g. the
+Figure 10 RC baselines and the Figure 11 replays) pay for them once per
+pytest session.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` -- workload scale factor (default 1.0, the full
+  synthetic workload size).  Lower it for quick smoke runs.
+* ``REPRO_BENCH_SEED`` -- workload seed (default 11).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.analysis.report import format_table, geometric_mean
+from repro.baselines import ConsistencyModel, InterleavedExecutor
+from repro.core.delorean import DeLoreanSystem
+from repro.core.modes import ExecutionMode
+from repro.core.replayer import ReplayPerturbation
+from repro.machine.timing import MachineConfig
+from repro.workloads import (
+    SPLASH2_APPS,
+    commercial_program,
+    splash2_program,
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "11"))
+
+SPLASH2 = list(SPLASH2_APPS)
+COMMERCIAL = ["sjbb2k", "sweb2005"]
+ALL_APPS = SPLASH2 + COMMERCIAL
+
+#: The paper's estimated compressed Basic-RTR log size, shown as the
+#: reference line of Figures 6-8 (about 1 byte/proc/kiloinstruction).
+PAPER_RTR_BITS_PER_PROC_PER_KILOINST = 8.0
+
+#: Paper-reported headline numbers (EXPERIMENTS.md compares against
+#: these).
+PAPER = {
+    "sc_speed_vs_rc": 0.79,
+    "orderonly_record_vs_rc": 0.98,
+    "picolog_record_vs_rc": 0.86,
+    "orderonly_replay_vs_rc": 0.82,
+    "picolog_replay_vs_rc": 0.72,
+    "orderonly_log_bits_compressed": 1.3,
+    "orderonly_log_bits_raw": 2.1,
+    "picolog_log_bits_compressed": 0.05,
+    "stratified_pi_reduction": 0.54,
+}
+
+
+def program_for(app: str, num_threads: int = 8, scale: float | None = None):
+    """Fresh Program instance for an app (programs are mutable-ish, so
+    callers get their own)."""
+    scale = SCALE if scale is None else scale
+    if app in COMMERCIAL:
+        return commercial_program(app, scale=scale, seed=SEED,
+                                  num_threads=num_threads)
+    return splash2_program(app, scale=scale, seed=SEED,
+                           num_threads=num_threads)
+
+
+@lru_cache(maxsize=None)
+def record_app(app: str, mode: ExecutionMode, chunk_size: int = 0,
+               num_threads: int = 8, simultaneous: int = 0,
+               scale_key: float = -1.0):
+    """Cached recording of one app under one configuration.
+
+    ``chunk_size=0`` means the mode's preferred size; ``simultaneous=0``
+    means the Table 5 default (2).  Returns (system, recording).
+    """
+    scale = SCALE if scale_key < 0 else scale_key
+    overrides = {"num_processors": num_threads}
+    if simultaneous:
+        overrides["simultaneous_chunks"] = simultaneous
+    machine_config = MachineConfig(**overrides)
+    system = DeLoreanSystem(
+        mode=mode,
+        machine_config=machine_config,
+        chunk_size=chunk_size or None,
+    )
+    recording = system.record(
+        program_for(app, num_threads=num_threads, scale=scale))
+    return system, recording
+
+
+@lru_cache(maxsize=None)
+def replay_app(app: str, mode: ExecutionMode, use_strata: bool = False,
+               scale_key: float = -1.0):
+    """Cached perturbed replay of one app (Section 6.2.1 methodology)."""
+    system, recording = record_app(app, mode, scale_key=scale_key)
+    result = system.replay(
+        recording,
+        perturbation=ReplayPerturbation(seed=SEED * 13 + 7),
+        use_strata=use_strata,
+    )
+    assert result.determinism.matches, (
+        f"replay diverged for {app}/{mode}: "
+        f"{result.determinism.summary()}")
+    return result
+
+
+@lru_cache(maxsize=None)
+def consistency_run(app: str, model: ConsistencyModel,
+                    num_threads: int = 8, collect_trace: bool = False,
+                    scale_key: float = -1.0):
+    """Cached interleaved (conventional-machine) run of one app."""
+    scale = SCALE if scale_key < 0 else scale_key
+    executor = InterleavedExecutor(
+        program_for(app, num_threads=num_threads, scale=scale),
+        MachineConfig(num_processors=num_threads),
+        model,
+        collect_trace=collect_trace,
+    )
+    return executor.run()
+
+
+def rc_cycles(app: str, num_threads: int = 8,
+              scale_key: float = -1.0) -> float:
+    """RC-baseline cycle count (the Figure 10/11/12 normalizer)."""
+    return consistency_run(app, ConsistencyModel.RC,
+                           num_threads=num_threads,
+                           scale_key=scale_key).cycles
+
+
+def splash2_gm(values_by_app: dict[str, float]) -> float:
+    """Geometric mean over the SPLASH-2 apps (the paper's SP2-G.M.)."""
+    return geometric_mean([values_by_app[app] for app in SPLASH2
+                           if app in values_by_app])
+
+
+def emit(title: str, headers, rows) -> None:
+    """Print one paper-style table (captured by pytest -s or the
+    benchmark log)."""
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def run_once(benchmark, func):
+    """Register ``func`` with pytest-benchmark, executing it exactly
+    once (these are experiment reproductions, not microbenchmarks)."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,96 @@
+"""Concurrency-bug debugging: the paper's motivating use case.
+
+Four threads hammer a shared counter.  The *count* is kept by atomic
+increments, but each thread also derives a value from what it happened
+to read -- so the derived state is a fingerprint of the exact memory
+interleaving.  Like a real concurrency bug, the fingerprint changes
+whenever the machine's timing changes (here: slightly different chunk
+sizes stand in for different production-machine timing).
+
+A debugger chasing an interleaving-dependent failure sees a different
+execution on every run.  With DeLorean the offending run is recorded
+once; every replay then reproduces the exact interleaving -- the same
+commit order, the same reads, the same derived state -- regardless of
+how the replay machine's timing is perturbed (Section 4.2: "the same
+instruction ... must see exactly the same full-system architectural
+state").
+
+Run:  python examples/debug_race.py
+"""
+
+from repro import DeLoreanSystem, ExecutionMode, ReplayPerturbation
+from repro.workloads.program_builder import ProgramBuilder, shared_address
+
+THREADS = 4
+INCREMENTS = 30
+COUNTER = shared_address(0)
+
+
+def witness(thread: int) -> int:
+    """Per-thread slot for the interleaving-dependent derived value."""
+    return shared_address(64 + thread * 8)
+
+
+def contended_program():
+    builder = ProgramBuilder(THREADS, name="contended-counter")
+    for thread in range(THREADS):
+        writer = builder.writer(thread)
+        for _ in range(INCREMENTS):
+            writer.rmw(COUNTER, 1)       # atomic: the count stays exact
+            writer.load(COUNTER)         # ...but WHAT this thread reads
+            writer.compute(25)           #    depends on the interleaving
+            writer.store(witness(thread))  # derived state: a fingerprint
+            writer.compute(150)          # pacing between accesses
+    return builder.build()
+
+
+def fingerprint(memory: dict) -> str:
+    combined = 0
+    for thread in range(THREADS):
+        combined ^= memory.get(witness(thread), 0)
+    return f"{combined & 0xFFFFFFFF:08x}"
+
+
+def main() -> None:
+    expected = THREADS * INCREMENTS
+    print(f"{THREADS} threads x {INCREMENTS} atomic increments; the "
+          f"counter always ends at {expected}, but the threads' "
+          f"derived state depends on the interleaving.\n")
+
+    print("Production runs on machines with slightly different timing:")
+    chosen = None
+    seen = set()
+    for variant in range(4):
+        system = DeLoreanSystem(mode=ExecutionMode.ORDER_ONLY,
+                                chunk_size=160 + 17 * variant)
+        recording = system.record(contended_program())
+        mark = fingerprint(recording.final_memory)
+        seen.add(mark)
+        print(f"  machine variant {variant}: counter = "
+              f"{recording.final_memory.get(COUNTER)}, interleaving "
+              f"fingerprint = {mark}")
+        if chosen is None:
+            chosen = (system, recording, mark)
+    print(f"  -> {len(seen)} distinct interleavings in 4 runs: the "
+          f"bug-relevant state is timing-dependent.")
+
+    system, recording, mark = chosen
+    print(f"\nReplaying run #0 (fingerprint {mark}) five times under "
+          f"different replay-timing noise:")
+    for seed in range(5):
+        result = system.replay(
+            recording, perturbation=ReplayPerturbation(seed=seed))
+        replayed = fingerprint(result.final_memory)
+        assert result.determinism.matches
+        assert replayed == mark, (replayed, mark)
+        print(f"  replay (noise seed {seed}): fingerprint {replayed}, "
+              f"{result.determinism.compared_chunks} chunk commits "
+              f"reproduced exactly")
+
+    print("\nThe production interleaving is pinned down: every replay "
+          "reproduces it bit-exactly, so the failure can be chased "
+          "with a debugger, over and over.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Diff two recordings: localize where a failing run left the rails.
+
+When a bug reproduces on one machine and not another, the question is
+*where the executions part ways*.  With recordings of both runs, the
+answer is mechanical: walk the commit sequences and report the first
+divergent commit.
+
+This example records the racey interleaving-signature kernel on two
+machines with slightly different timing, diffs the recordings, then
+uses interval replay to jump straight to the neighbourhood of the
+divergence in the "failing" run.
+
+Run:  python examples/diff_runs.py
+"""
+
+from repro import DeLoreanSystem, ExecutionMode
+from repro.analysis.compare import (
+    diff_recordings,
+    interleaving_prefix_length,
+)
+from repro.workloads.stress import racey_program
+
+
+def record_on(machine_seed: int, checkpoint_every: int = 0):
+    from dataclasses import replace
+    from repro import MachineConfig
+    system = DeLoreanSystem(
+        mode=ExecutionMode.ORDER_ONLY,
+        machine_config=replace(MachineConfig(), seed=machine_seed),
+        chunk_size=256,
+        # A visible rate of stochastic truncations: the two machines
+        # diverge the first time their wrong-path noise differs.
+        stochastic_overflow_rate=0.03)
+    recording = system.record(
+        racey_program(threads=4, rounds=120, seed=21),
+        checkpoint_every=checkpoint_every)
+    return system, recording
+
+
+def main() -> None:
+    print("Recording the same program on two machines with slightly "
+          "different timing...")
+    _, passing = record_on(machine_seed=1)
+    system, failing = record_on(machine_seed=8, checkpoint_every=5)
+
+    diff = diff_recordings(passing, failing)
+    print()
+    print(diff.summary())
+    prefix = interleaving_prefix_length(passing, failing)
+    print(f"\ncommon committing-processor prefix: {prefix} of "
+          f"{len(passing.fingerprints)} commits")
+
+    if diff.first_divergence is not None:
+        store = failing.interval_checkpoints
+        checkpoint = store.at_or_before(diff.first_divergence) \
+            if len(store) and store.checkpoints[0].commit_index \
+            <= diff.first_divergence else None
+        if checkpoint is not None:
+            print(f"\nJumping to the divergence: interval replay of "
+                  f"the failing run from its checkpoint at GCC="
+                  f"{checkpoint.commit_index}...")
+            result = system.replay_interval(
+                failing, checkpoint=checkpoint,
+                length=diff.first_divergence
+                - checkpoint.commit_index + 4)
+            assert result.determinism.matches
+            print(f"  replayed {result.determinism.compared_chunks} "
+                  f"commits around the divergence, bit-exactly -- set "
+                  f"a breakpoint and step through commit "
+                  f"#{diff.first_divergence} as often as needed.")
+        else:
+            print("\n(no checkpoint precedes the divergence; a full "
+                  "replay would be used instead)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: record a multiprocessor execution and replay it exactly.
+
+Records a SPLASH-2-style workload on the 8-processor chunk-based
+machine under OrderOnly mode, prints what the recording cost (the
+paper's headline metric: bits of memory-ordering log per processor per
+kilo-instruction), then deterministically replays it -- twice, with
+different timing noise -- and verifies both replays are bit-exact.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DeLoreanSystem, ExecutionMode, ReplayPerturbation
+from repro.workloads import splash2_program
+
+
+def main() -> None:
+    program = splash2_program("fft", scale=0.5, seed=42)
+    system = DeLoreanSystem(mode=ExecutionMode.ORDER_ONLY)
+
+    print("Recording the initial execution (OrderOnly mode)...")
+    recording = system.record(program)
+    stats = recording.stats
+    print(f"  committed {stats.total_committed_chunks} chunks / "
+          f"{stats.total_committed_instructions} instructions "
+          f"in {stats.cycles:,.0f} cycles (IPC {stats.ipc:.2f})")
+    print(f"  squashes: {stats.total_squashes} "
+          f"({100 * stats.wasted_instruction_fraction:.1f}% of executed "
+          f"instructions wasted)")
+    print(f"  PI log: {len(recording.pi_log)} entries; CS log entries: "
+          f"{sum(len(log) for log in recording.cs_logs.values())}")
+    print(f"  memory-ordering log: "
+          f"{recording.log_bits_per_proc_per_kiloinst(False):.2f} bits "
+          f"per processor per kilo-instruction "
+          f"({recording.log_bits_per_proc_per_kiloinst(True):.2f} "
+          f"compressed)")
+
+    print("\nReplaying with the paper's timing perturbation "
+          "(random commit stalls, cache hit/miss flips)...")
+    for seed in (1, 2):
+        result = system.replay(recording,
+                               perturbation=ReplayPerturbation(seed=seed))
+        speed = recording.stats.cycles / result.cycles
+        print(f"  replay #{seed}: {result.determinism.summary()} "
+              f"(at {speed:.2f}x the recording speed)")
+        assert result.determinism.matches
+
+    print("\nEvery load, store, spin iteration and final memory word "
+          "was reproduced exactly. Great Scott!")
+
+
+if __name__ == "__main__":
+    main()

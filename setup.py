@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose pip/setuptools cannot
+build PEP 660 editable wheels (e.g. offline boxes without the ``wheel``
+package, which fall back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

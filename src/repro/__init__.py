@@ -1,0 +1,59 @@
+"""DeLorean: deterministic record/replay of chunk-based multiprocessor
+execution -- a reproduction of Montesinos, Ceze & Torrellas, ISCA 2008.
+
+Quickstart::
+
+    from repro import DeLoreanSystem, ExecutionMode
+    from repro.workloads import splash2_program
+
+    program = splash2_program("fft", scale=0.2, seed=1)
+    system = DeLoreanSystem(mode=ExecutionMode.ORDER_ONLY)
+    recording, replay = system.record_and_verify(program)
+    print(recording.log_bits_per_proc_per_kiloinst())
+    print(replay.determinism.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every figure and table.
+"""
+
+from repro.core.delorean import DeLoreanSystem
+from repro.core.modes import ExecutionMode, ModeConfig, preferred_config
+from repro.core.recorder import Recording
+from repro.core.serialization import load_recording, save_recording
+from repro.core.replayer import ReplayPerturbation, ReplayResult
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ExecutionError,
+    LogFormatError,
+    ReplayDivergenceError,
+    ReproError,
+)
+from repro.machine.program import Op, OpKind, Program
+from repro.machine.timing import MachineConfig, TimingModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeLoreanSystem",
+    "ExecutionMode",
+    "ModeConfig",
+    "preferred_config",
+    "Recording",
+    "save_recording",
+    "load_recording",
+    "ReplayPerturbation",
+    "ReplayResult",
+    "MachineConfig",
+    "TimingModel",
+    "Op",
+    "OpKind",
+    "Program",
+    "ReproError",
+    "ConfigurationError",
+    "LogFormatError",
+    "ReplayDivergenceError",
+    "ExecutionError",
+    "DeadlockError",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Run statistics, reporting, charts and recording inspection."""
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart
+from repro.analysis.compare import RecordingDiff, diff_recordings
+from repro.analysis.races import (
+    ContendedLine,
+    RaceReport,
+    find_contended_lines,
+    replay_window_for,
+)
+from repro.analysis.report import format_table, geometric_mean
+from repro.analysis.stats import RunStats
+
+__all__ = [
+    "RunStats",
+    "format_table",
+    "geometric_mean",
+    "bar_chart",
+    "grouped_bar_chart",
+    "RecordingDiff",
+    "diff_recordings",
+    "ContendedLine",
+    "RaceReport",
+    "find_contended_lines",
+    "replay_window_for",
+]

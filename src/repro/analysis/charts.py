@@ -1,0 +1,88 @@
+"""Terminal bar charts for the benchmark harness.
+
+The paper's evaluation figures are grouped bar charts; the benches
+print their numbers as tables *and* as horizontal bars so the shape --
+who wins, by roughly what factor -- is visible in the terminal without
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_FULL = "█"
+_PARTIAL = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A left-to-right bar for ``value`` where ``scale`` maps to
+    ``width`` characters."""
+    if scale <= 0 or value <= 0:
+        return ""
+    eighths = int(round(value / scale * width * 8))
+    full, rem = divmod(eighths, 8)
+    full = min(full, width)
+    return _FULL * full + (_PARTIAL[rem] if full < width else "")
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 40,
+    reference: float | None = None,
+    reference_label: str = "ref",
+    unit: str = "",
+) -> str:
+    """Render one bar per (label, value).
+
+    ``reference`` draws an extra dashed row (the paper's "Basic RTR
+    estimated" line in Figures 6-8, or the RC=1.0 normalizer).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(list(values) + ([reference] if reference else []),
+               default=0.0)
+    label_width = max((len(str(l)) for l in labels), default=0)
+    if reference is not None:
+        label_width = max(label_width, len(reference_label))
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = _bar(value, peak, width)
+        lines.append(f"  {str(label):<{label_width}}  "
+                     f"{bar:<{width}}  {value:.2f}{unit}")
+    if reference is not None:
+        dash_width = int(round(reference / peak * width)) if peak else 0
+        lines.append(f"  {reference_label:<{label_width}}  "
+                     f"{'╌' * dash_width:<{width}}  "
+                     f"{reference:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 36,
+    unit: str = "",
+) -> str:
+    """Render groups of bars (one sub-bar per series member), the
+    shape of the paper's Figures 10/11."""
+    peak = max((max(values) for values in series.values()
+                if len(values)), default=0.0)
+    series_width = max((len(name) for name in series), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for index, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            if index >= len(values):
+                continue
+            value = values[index]
+            bar = _bar(value, peak, width)
+            lines.append(f"  {name:<{series_width}}  "
+                         f"{bar:<{width}}  {value:.2f}{unit}")
+    return "\n".join(lines)

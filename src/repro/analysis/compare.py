@@ -1,0 +1,145 @@
+"""Comparing two recordings: where did executions diverge?
+
+A standard debugging move with a replayer at hand: record the failing
+run and a passing run of the same program, then look for the first
+point where their interleavings or their architectural effects differ.
+These helpers do that comparison on the verification fingerprints two
+recordings carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # avoid a circular import (recorder uses analysis)
+    from repro.core.recorder import Recording
+
+
+@dataclass
+class RecordingDiff:
+    """Structured outcome of comparing two recordings."""
+
+    identical: bool
+    first_divergence: int | None = None
+    divergence_kind: str = ""
+    detail: str = ""
+    memory_differences: list[tuple[int, int, int]] = field(
+        default_factory=list)
+    commit_counts: tuple[int, int] = (0, 0)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable verdict."""
+        if self.identical:
+            return (f"identical executions: {self.commit_counts[0]} "
+                    f"commits, same interleaving, same final memory")
+        lines = [f"executions diverge at commit "
+                 f"#{self.first_divergence}" if self.first_divergence
+                 is not None else "executions diverge"]
+        lines.append(f"  kind: {self.divergence_kind}")
+        if self.detail:
+            lines.append(f"  {self.detail}")
+        if self.memory_differences:
+            shown = ", ".join(
+                f"@{address:#x}: {left} vs {right}"
+                for address, left, right in
+                self.memory_differences[:4])
+            lines.append(f"  final-memory differences "
+                         f"({len(self.memory_differences)}): {shown}")
+        return "\n".join(lines)
+
+
+def _describe(fingerprint) -> str:
+    if fingerprint[0] == "dma":
+        return f"DMA burst #{fingerprint[1]}"
+    proc, seq, _piece, is_handler, instructions, _w, _e = fingerprint
+    kind = "handler" if is_handler else "chunk"
+    return f"cpu{proc} {kind} seq={seq} ({instructions} instructions)"
+
+
+def diff_recordings(left: "Recording", right: "Recording") -> RecordingDiff:
+    """Compare two recordings of (nominally) the same program.
+
+    The comparison walks the global commit sequences and reports the
+    first position where the committing processor, the chunk contents,
+    or (failing those) the final memory differ.
+    """
+    if left.machine_config.num_processors != \
+            right.machine_config.num_processors:
+        raise ConfigurationError(
+            "recordings come from differently-sized machines")
+    counts = (len(left.fingerprints), len(right.fingerprints))
+    for index, (a, b) in enumerate(zip(left.fingerprints,
+                                       right.fingerprints)):
+        if a == b:
+            continue
+        if a[0] != b[0] or (a[0] != "dma" and a[1] != b[1]):
+            kind = "interleaving"
+            detail = (f"left committed {_describe(a)}; right "
+                      f"committed {_describe(b)}")
+        elif a[0] != "dma" and a[4] != b[4]:
+            kind = "chunk-size"
+            detail = (f"{_describe(a)} vs {_describe(b)}: same "
+                      f"committer, different instruction counts")
+        else:
+            kind = "chunk-contents"
+            detail = (f"{_describe(a)}: same committer and size, "
+                      f"different writes or end state")
+        return RecordingDiff(
+            identical=False,
+            first_divergence=index,
+            divergence_kind=kind,
+            detail=detail,
+            memory_differences=_memory_diff(left, right),
+            commit_counts=counts,
+        )
+    if counts[0] != counts[1]:
+        return RecordingDiff(
+            identical=False,
+            first_divergence=min(counts),
+            divergence_kind="length",
+            detail=(f"common prefix of {min(counts)} commits; lengths "
+                    f"{counts[0]} vs {counts[1]}"),
+            memory_differences=_memory_diff(left, right),
+            commit_counts=counts,
+        )
+    memory = _memory_diff(left, right)
+    if memory:
+        return RecordingDiff(
+            identical=False,
+            first_divergence=None,
+            divergence_kind="memory",
+            detail="same commit sequence but different final memory",
+            memory_differences=memory,
+            commit_counts=counts,
+        )
+    return RecordingDiff(identical=True, commit_counts=counts)
+
+
+def _memory_diff(left: "Recording",
+                 right: "Recording") -> list[tuple[int, int, int]]:
+    differences = []
+    addresses = set(left.final_memory) | set(right.final_memory)
+    for address in sorted(addresses):
+        a = left.final_memory.get(address, 0)
+        b = right.final_memory.get(address, 0)
+        if a != b:
+            differences.append((address, a, b))
+    return differences
+
+
+def interleaving_prefix_length(left: "Recording",
+                               right: "Recording") -> int:
+    """Length of the common committing-processor prefix (ignoring
+    chunk contents) -- a coarse similarity measure between runs."""
+    def committer(fingerprint):
+        return ("dma" if fingerprint[0] == "dma"
+                else fingerprint[0])
+    prefix = 0
+    for a, b in zip(left.fingerprints, right.fingerprints):
+        if committer(a) != committer(b):
+            break
+        prefix += 1
+    return prefix

@@ -1,0 +1,55 @@
+"""Text rendering helpers shared by the benchmark harness.
+
+Benches print the same rows/series the paper reports; these helpers
+keep the formatting consistent (fixed-width tables, geometric means for
+the SPLASH-2 aggregate, as in "SP2-G.M.").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; ignores non-positive values defensively."""
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned fixed-width text table."""
+    columns = len(headers)
+    cells = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index in range(min(columns, len(row))):
+            widths[index] = max(widths[index], len(row[index]))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(
+        h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,102 @@
+"""Whole-run statistics collected by the simulated machine.
+
+One :class:`RunStats` summarizes a complete record or replay run: how
+long it took, how much work committed, where stalls and squashes went,
+how busy the commit pipeline was, and how much traffic moved.  The
+benchmark harness builds every figure and table from these objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chunks.processor import ProcessorStats
+
+
+@dataclass
+class RunStats:
+    """Aggregated outcome of one simulated execution."""
+
+    cycles: float = 0.0
+    total_committed_instructions: int = 0
+    total_committed_chunks: int = 0
+    total_squashes: int = 0
+    total_squashed_instructions: int = 0
+    overflow_truncations: int = 0
+    collision_truncations: int = 0
+    io_truncations: int = 0
+    handler_chunks: int = 0
+    dma_commits: int = 0
+    stall_cycles_total: float = 0.0
+    per_processor: dict[int, ProcessorStats] = field(default_factory=dict)
+    token_summary: dict[str, float] = field(default_factory=dict)
+    traffic: dict[str, int] = field(default_factory=dict)
+    commit_parallelism_samples: list[int] = field(default_factory=list)
+    ready_procs_samples: list[int] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle, whole machine."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.total_committed_instructions / self.cycles
+
+    @property
+    def squash_rate(self) -> float:
+        """Squashes per committed chunk."""
+        if self.total_committed_chunks == 0:
+            return 0.0
+        return self.total_squashes / self.total_committed_chunks
+
+    @property
+    def wasted_instruction_fraction(self) -> float:
+        """Squashed instructions / (squashed + committed)."""
+        executed = (self.total_squashed_instructions
+                    + self.total_committed_instructions)
+        if executed == 0:
+            return 0.0
+        return self.total_squashed_instructions / executed
+
+    @property
+    def stall_fraction(self) -> float:
+        """Stall cycles as a fraction of total processor-cycles
+        (Table 6 'Stall Cycles')."""
+        procs = max(1, len(self.per_processor))
+        if self.cycles <= 0:
+            return 0.0
+        return self.stall_cycles_total / (self.cycles * procs)
+
+    @property
+    def avg_commit_parallelism(self) -> float:
+        """Average concurrently-committing chunks (Table 6 'Actual
+        Commit')."""
+        samples = self.commit_parallelism_samples
+        return sum(samples) / len(samples) if samples else 0.0
+
+    @property
+    def avg_ready_procs(self) -> float:
+        """Average processors holding a ready-to-commit chunk
+        (Table 6 'Ready Procs')."""
+        samples = self.ready_procs_samples
+        return sum(samples) / len(samples) if samples else 0.0
+
+    def speedup_over(self, baseline: "RunStats") -> float:
+        """This run's speed relative to ``baseline`` (same work,
+        compared by cycles -- the normalization of Figures 10-12)."""
+        if self.cycles <= 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    def merge_processor(self, proc_id: int, stats: ProcessorStats) -> None:
+        """Fold one processor's counters into the totals."""
+        self.per_processor[proc_id] = stats
+        self.total_committed_chunks += stats.chunks_committed
+        self.total_committed_instructions += (
+            stats.instructions_committed + stats.boundary_ops_committed)
+        self.total_squashes += stats.squashes
+        self.total_squashed_instructions += stats.squashed_instructions
+        self.overflow_truncations += stats.overflow_truncations
+        self.collision_truncations += stats.collision_truncations
+        self.io_truncations += stats.io_truncations
+        self.handler_chunks += stats.handler_chunks
+        self.stall_cycles_total += stats.stall_cycles

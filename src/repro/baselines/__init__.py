@@ -1,0 +1,39 @@
+"""Baselines DeLorean is compared against.
+
+* :mod:`~repro.baselines.consistency` -- a conventional (non-chunked)
+  interleaved executor with SC, PC/TSO and RC timing models.  It
+  provides the RC/SC reference bars of Figure 10 and the
+  sequentially-consistent access traces the conventional recorders
+  consume.
+* :mod:`~repro.baselines.fdr` -- the Flight Data Recorder with Netzer's
+  transitive reduction.
+* :mod:`~repro.baselines.rtr` -- Basic Regulated Transitive Reduction
+  (stricter artificial dependences + vector compaction).
+* :mod:`~repro.baselines.strata` -- the Strata recorder.
+"""
+
+from repro.baselines.consistency import (
+    AccessRecord,
+    ConsistencyModel,
+    InterleavedExecutor,
+    InterleavedResult,
+)
+from repro.baselines.bugnet import BugNetRecorder, ValueAccess
+from repro.baselines.fdr import FDRRecorder
+from repro.baselines.rtr import RTRRecorder
+from repro.baselines.strata import StrataRecorder
+from repro.baselines.tso import TSOExecutor, TSOResult
+
+__all__ = [
+    "AccessRecord",
+    "ConsistencyModel",
+    "InterleavedExecutor",
+    "InterleavedResult",
+    "BugNetRecorder",
+    "ValueAccess",
+    "FDRRecorder",
+    "RTRRecorder",
+    "StrataRecorder",
+    "TSOExecutor",
+    "TSOResult",
+]

@@ -1,0 +1,130 @@
+"""A BugNet-style load-value recorder (Section 2.1's related work).
+
+BugNet [Narayanasamy, Pokam & Calder, ISCA 2005] replays *user code*
+by logging the value of every load whose result could not be inferred
+-- in practice, the first load of each memory location per checkpoint
+interval, plus any load whose location was written by another thread
+or by DMA since the last local access.  It compresses the stream with
+a hardware dictionary.
+
+This implementation processes the same SC access traces as the other
+baselines but needs load *values*, so it consumes the value-annotated
+trace the interleaved executor can produce.  It exists as a reference
+point: per-thread value logging is self-contained (no cross-thread
+ordering log at all) but pays for it with a much larger log than any
+dependence- or chunk-based scheme -- which this module's size
+accounting makes measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compression.bitstream import BitWriter
+from repro.compression.lz77 import LZ77Codec, compressed_size_bits
+
+
+@dataclass(frozen=True)
+class ValueAccess:
+    """One memory access with its value (BugNet's input granularity)."""
+
+    processor: int
+    address: int
+    value: int
+    is_write: bool
+
+
+@dataclass
+class _ThreadView:
+    """What one thread can infer without logging."""
+
+    known: dict[int, int] = field(default_factory=dict)
+
+
+class BugNetRecorder:
+    """Logs the load values a BugNet replayer could not infer.
+
+    A load is *inferable* (not logged) when the loading thread itself
+    performed the last access to that address -- it can recompute the
+    value during replay.  Any other load (first touch, or the location
+    was modified externally since) is logged.
+    """
+
+    _VALUE_BITS = 64
+
+    def __init__(self, num_processors: int) -> None:
+        self.num_processors = num_processors
+        self._views = [_ThreadView() for _ in range(num_processors)]
+        self.logged_values: dict[int, list[int]] = {
+            proc: [] for proc in range(num_processors)}
+        self.total_loads = 0
+        self.inferred_loads = 0
+
+    def observe(self, access) -> None:
+        """Process one access in global order.
+
+        Accepts :class:`ValueAccess` or the interleaved executor's
+        value-annotated :class:`~repro.baselines.consistency.AccessRecord`.
+        """
+        view = self._views[access.processor]
+        if access.is_write:
+            view.known[access.address] = access.value
+            # Other threads can no longer infer this address.
+            for other, other_view in enumerate(self._views):
+                if other != access.processor:
+                    other_view.known.pop(access.address, None)
+            return
+        self.total_loads += 1
+        if view.known.get(access.address) == access.value:
+            self.inferred_loads += 1
+        else:
+            self.logged_values[access.processor].append(access.value)
+        view.known[access.address] = access.value
+
+    def process(self, trace) -> None:
+        """Consume a whole trace in order."""
+        for access in trace:
+            self.observe(access)
+
+    def checkpoint(self) -> None:
+        """Start a new checkpoint interval: everything must be
+        re-logged on first touch (BugNet logs per interval)."""
+        for view in self._views:
+            view.known.clear()
+
+    @property
+    def logged_count(self) -> int:
+        """Loads that required a log entry."""
+        return sum(len(values) for values in self.logged_values.values())
+
+    def encode(self) -> tuple[bytes, int]:
+        """Raw value stream, concatenated per processor."""
+        writer = BitWriter()
+        for proc in range(self.num_processors):
+            for value in self.logged_values[proc]:
+                writer.write(value & ((1 << self._VALUE_BITS) - 1),
+                             self._VALUE_BITS)
+        return writer.to_bytes(), writer.bit_length
+
+    @property
+    def size_bits(self) -> int:
+        """Uncompressed first-load log size."""
+        return self.logged_count * self._VALUE_BITS
+
+    def compressed_size_bits(self) -> int:
+        """Size after dictionary-style compression.
+
+        BugNet's hardware dictionary exploits value locality; LZ77 over
+        the value stream is the closest software equivalent here.
+        """
+        payload, bits = self.encode()
+        return compressed_size_bits(payload, LZ77Codec(), raw_bits=bits)
+
+    def bits_per_proc_per_kiloinst(self, total_instructions: int,
+                                   compressed: bool = True) -> float:
+        """The shared comparison metric."""
+        if total_instructions <= 0:
+            return 0.0
+        bits = (self.compressed_size_bits() if compressed
+                else self.size_bits)
+        return bits * 1000.0 / total_instructions

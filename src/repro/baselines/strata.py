@@ -1,0 +1,164 @@
+"""The Strata recorder [Narayanasamy, Pereira & Calder, ASPLOS 2006].
+
+Rather than logging individual dependences, Strata logs *strata*: each
+log entry is a vector with one memory-operation counter per processor,
+counting the operations each issued since the previous stratum
+(Figure 1(c) of the DeLorean paper).  A stratum is logged right before
+a processor issues the *second* access of a cross-processor dependence
+whose first access lies in the current stratum region -- after that,
+the two accesses are separated by a stratum boundary and the
+dependence is implied.
+
+``log_wars`` mirrors the paper's option: Strata "can choose to ignore
+WAR dependences when building the log", at the cost of multi-pass
+replay.  The test suite checks the separation invariant: every
+dependence's two accesses end up in different stratum regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.consistency import AccessRecord
+from repro.compression.bitstream import BitWriter
+from repro.compression.lz77 import compressed_size_bits
+
+
+@dataclass
+class _LineState:
+    """Stratum indices of the last accesses to one line."""
+
+    writer: tuple[int, int] | None = None   # (proc, stratum index)
+    readers: dict[int, int] = field(default_factory=dict)
+
+
+class StrataRecorder:
+    """Processes an SC access trace into a Strata log."""
+
+    _COUNTER_BITS = 16
+
+    def __init__(self, num_processors: int,
+                 log_wars: bool = True) -> None:
+        self.num_processors = num_processors
+        self.log_wars = log_wars
+        self.strata: list[tuple[int, ...]] = []
+        self._since_last = [0] * num_processors
+        self._lines: dict[int, _LineState] = {}
+        self._current_stratum = 0
+
+    def process(self, trace: list[AccessRecord]) -> None:
+        """Consume a whole trace in order."""
+        for access in trace:
+            self.observe(access)
+
+    def observe(self, access: AccessRecord) -> None:
+        """Process one access in global order."""
+        line = self._lines.setdefault(access.line, _LineState())
+        proc = access.processor
+        if self._needs_stratum(line, proc, access.is_write):
+            self._emit()
+        self._since_last[proc] += 1
+        if access.is_write:
+            line.writer = (proc, self._current_stratum)
+            line.readers = {}
+        else:
+            line.readers[proc] = self._current_stratum
+        counter_max = (1 << self._COUNTER_BITS) - 1
+        if self._since_last[proc] >= counter_max:
+            self._emit()
+
+    def _needs_stratum(self, line: _LineState, proc: int,
+                       is_write: bool) -> bool:
+        """Would this access be the second reference of a dependence
+        whose first reference is in the current stratum region?"""
+        current = self._current_stratum
+        if line.writer is not None and line.writer[0] != proc \
+                and line.writer[1] == current:
+            return True  # RAW or WAW with an unseparated source
+        if is_write and self.log_wars:
+            return any(reader != proc and stratum == current
+                       for reader, stratum in line.readers.items())
+        return False
+
+    def _emit(self) -> None:
+        self.strata.append(tuple(self._since_last))
+        self._since_last = [0] * self.num_processors
+        self._current_stratum += 1
+
+    def finish(self) -> None:
+        """Flush the trailing partial stratum."""
+        if any(self._since_last):
+            self._emit()
+
+    # -- size accounting -------------------------------------------------
+
+    def encode(self) -> tuple[bytes, int]:
+        """Bit stream: one counter vector per stratum."""
+        writer = BitWriter()
+        for stratum in self.strata:
+            for count in stratum:
+                writer.write(count, self._COUNTER_BITS)
+        return writer.to_bytes(), writer.bit_length
+
+    @property
+    def size_bits(self) -> int:
+        """Uncompressed Strata log size."""
+        return len(self.strata) * self.num_processors * self._COUNTER_BITS
+
+    def compressed_size_bits(self) -> int:
+        """Strata log size after LZ77."""
+        payload, bits = self.encode()
+        return compressed_size_bits(payload, raw_bits=bits)
+
+    def bits_per_proc_per_kiloinst(self, total_instructions: int,
+                                   compressed: bool = True) -> float:
+        """The shared comparison metric of Figures 6-8."""
+        if total_instructions <= 0:
+            return 0.0
+        bits = (self.compressed_size_bits() if compressed
+                else self.size_bits)
+        return bits * 1000.0 / total_instructions
+
+    def verify_separation(self, trace: list[AccessRecord]) -> bool:
+        """Invariant: every cross-processor dependence has its two
+        references in different stratum regions (test-suite check)."""
+        boundaries = []
+        consumed = [0] * self.num_processors
+        position = 0
+        for stratum in self.strata:
+            position += sum(stratum)
+            boundaries.append(position)
+        # Assign each access its stratum region by per-proc counting.
+        region_of: dict[int, int] = {}
+        counts = [0] * self.num_processors
+        per_stratum = [list(s) for s in self.strata]
+        stratum_index = [0] * self.num_processors
+        for access in trace:
+            proc = access.processor
+            index = stratum_index[proc]
+            while (index < len(per_stratum)
+                   and per_stratum[index][proc] == 0):
+                index += 1
+            if index >= len(per_stratum):
+                return False  # access not covered by any stratum
+            per_stratum[index][proc] -= 1
+            stratum_index[proc] = index
+            region_of[access.index] = index
+        lines: dict[int, _LineState] = {}
+        for access in trace:
+            line = lines.setdefault(access.line, _LineState())
+            proc = access.processor
+            region = region_of[access.index]
+            if line.writer is not None and line.writer[0] != proc:
+                if line.writer[1] >= region:
+                    return False
+            if access.is_write and self.log_wars:
+                for reader, reader_region in line.readers.items():
+                    if reader != proc and reader_region >= region:
+                        return False
+            if access.is_write:
+                line.writer = (proc, region)
+                line.readers = {}
+            else:
+                line.readers[proc] = region
+        return True

@@ -1,0 +1,24 @@
+"""BulkSC-style chunk-execution substrate.
+
+This subpackage implements the hardware substrate DeLorean builds on
+(Appendix A of the paper): Bloom-filter read/write signatures, the chunk
+lifecycle, a set-associative L1 cache that detects attempted overflow of
+speculative lines, chunk-building processors that interpret concurrent
+programs, and the directory that propagates commits.
+"""
+
+from repro.chunks.signature import Signature, SignatureConfig
+from repro.chunks.chunk import Chunk, ChunkState, TruncationReason
+from repro.chunks.cache import CacheConfig, SpeculativeCache
+from repro.chunks.processor import ChunkProcessor
+
+__all__ = [
+    "Signature",
+    "SignatureConfig",
+    "Chunk",
+    "ChunkState",
+    "TruncationReason",
+    "CacheConfig",
+    "SpeculativeCache",
+    "ChunkProcessor",
+]

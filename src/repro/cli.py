@@ -1,0 +1,290 @@
+"""Command-line interface: record, replay and inspect from a shell.
+
+::
+
+    python -m repro record fft -o fft.dlrn --scale 0.5
+    python -m repro inspect fft.dlrn --timeline
+    python -m repro replay fft.dlrn --perturb-seed 7
+    python -m repro replay fft.dlrn --from-commit 80   # interval replay
+    python -m repro modes barnes --scale 0.4
+
+Workload names are the SPLASH-2 stand-ins (barnes, cholesky, fft, fmm,
+lu, ocean, radiosity, radix, raytrace, water-ns, water-sp) plus sjbb2k
+and sweb2005.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.inspect import (
+    commit_timeline,
+    describe_recording,
+    interleaving_strip,
+    per_processor_summary,
+)
+from repro.analysis.compare import diff_recordings
+from repro.analysis.races import find_contended_lines, replay_window_for
+from repro.analysis.report import format_table
+from repro.core.delorean import DeLoreanSystem
+from repro.core.modes import ExecutionMode
+from repro.core.replayer import ReplayPerturbation
+from repro.core.serialization import load_recording, save_recording
+from repro.errors import ReproError
+from repro.workloads import (
+    COMMERCIAL_APPS,
+    SPLASH2_APPS,
+    commercial_program,
+    splash2_program,
+)
+
+_MODES = {
+    "order-and-size": ExecutionMode.ORDER_AND_SIZE,
+    "order-only": ExecutionMode.ORDER_ONLY,
+    "picolog": ExecutionMode.PICOLOG,
+    # Table 2's fourth quadrant, implemented to measure why the paper
+    # dismissed it (see benchmarks/bench_table2_quadrants.py).
+    "size-only": ExecutionMode.SIZE_ONLY,
+}
+
+
+def _program_for(args):
+    if args.workload in COMMERCIAL_APPS:
+        return commercial_program(args.workload, scale=args.scale,
+                                  seed=args.seed)
+    return splash2_program(args.workload, scale=args.scale,
+                           seed=args.seed)
+
+
+def _system_for(args) -> DeLoreanSystem:
+    return DeLoreanSystem(
+        mode=_MODES[args.mode],
+        chunk_size=args.chunk_size,
+        stratify=args.stratify,
+    )
+
+
+def _cmd_record(args) -> int:
+    system = _system_for(args)
+    recording = system.record(_program_for(args),
+                              checkpoint_every=args.checkpoint_every)
+    print(describe_recording(recording))
+    if args.output:
+        blob = save_recording(recording)
+        with open(args.output, "wb") as handle:
+            handle.write(blob)
+        print(f"\nwrote {len(blob):,} bytes to {args.output}")
+    return 0
+
+
+def _load(path: str):
+    with open(path, "rb") as handle:
+        return load_recording(handle.read())
+
+
+def _cmd_replay(args) -> int:
+    recording = _load(args.recording)
+    system = DeLoreanSystem(
+        mode=recording.mode_config.mode,
+        machine_config=recording.machine_config,
+        mode_config=recording.mode_config,
+    )
+    perturbation = (ReplayPerturbation(seed=args.perturb_seed)
+                    if args.perturb_seed is not None else None)
+    if args.from_commit is not None:
+        if args.strata:
+            print("error: --strata cannot combine with --from-commit "
+                  "(a checkpoint may fall inside a stratum)",
+                  file=sys.stderr)
+            return 2
+        result = system.replay_interval(
+            recording, at_commit=args.from_commit,
+            perturbation=perturbation)
+        print(f"interval replay from commit <= {args.from_commit}:")
+    else:
+        result = system.replay(recording, perturbation=perturbation,
+                               use_strata=args.strata)
+    print(f"  {result.determinism.summary()}")
+    if recording.stats.cycles and args.from_commit is None:
+        speed = recording.stats.cycles / result.cycles
+        print(f"  replay took {result.cycles:,.0f} cycles "
+              f"({speed:.2f}x the recording)")
+    return 0 if result.determinism.matches else 1
+
+
+def _cmd_inspect(args) -> int:
+    recording = _load(args.recording)
+    print(describe_recording(recording))
+    print()
+    print(per_processor_summary(recording))
+    if args.timeline:
+        print()
+        print(commit_timeline(recording, limit=args.limit))
+    if args.interleaving:
+        print()
+        print(interleaving_strip(recording))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    left = _load(args.left)
+    right = _load(args.right)
+    diff = diff_recordings(left, right)
+    print(diff.summary())
+    return 0 if diff.identical else 1
+
+
+def _cmd_races(args) -> int:
+    recording = _load(args.recording)
+    report = find_contended_lines(recording,
+                                  include_dma=not args.no_dma)
+    print(report.summary(top=args.top))
+    if report.lines and args.replay:
+        line = report.lines[0]
+        start, length = replay_window_for(line)
+        end = start + length - 1
+        store = recording.interval_checkpoints
+        if store is None or not len(store):
+            print("error: the recording has no interval checkpoints; "
+                  "record with --checkpoint-every N to enable "
+                  "--replay", file=sys.stderr)
+            return 2
+        system = DeLoreanSystem(
+            mode=recording.mode_config.mode,
+            machine_config=recording.machine_config,
+            mode_config=recording.mode_config,
+        )
+        if store.checkpoints[0].commit_index <= start:
+            checkpoint = store.at_or_before(start)
+            print(f"\nReplaying commits {checkpoint.commit_index}.."
+                  f"{end} (checkpoint at {checkpoint.commit_index}, "
+                  f"tightest pair in {start}..{end})...")
+            result = system.replay_interval(
+                recording, checkpoint=checkpoint,
+                length=end - checkpoint.commit_index + 1)
+        else:
+            print(f"\nNo checkpoint precedes commit {start}; full "
+                  f"replay instead (tightest pair in {start}..{end})"
+                  f"...")
+            result = system.replay(recording)
+        print(f"  {result.determinism.summary()}")
+        return 0 if result.determinism.matches else 1
+    return 0
+
+
+def _cmd_modes(args) -> int:
+    rows = []
+    for label, mode in _MODES.items():
+        system = DeLoreanSystem(mode=mode)
+        recording = system.record(_program_for(args))
+        result = system.replay(recording,
+                               perturbation=ReplayPerturbation())
+        ordering = recording.memory_ordering
+        total = recording.total_committed_instructions
+        rows.append([
+            label,
+            f"{recording.stats.cycles:,.0f}",
+            f"{ordering.bits_per_proc_per_kiloinst(total, False):.2f}",
+            "yes" if result.determinism.matches else "NO",
+        ])
+    print(format_table(
+        ["mode", "record cycles", "log bits/proc/kinst",
+         "replay verified"],
+        rows, title=f"Execution-mode comparison on {args.workload}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeLorean chunk-based deterministic record/replay",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    workloads = sorted(SPLASH2_APPS) + sorted(COMMERCIAL_APPS)
+
+    def add_workload_options(p):
+        p.add_argument("workload", choices=workloads)
+        p.add_argument("--scale", type=float, default=0.5,
+                       help="workload scale factor (default 0.5)")
+        p.add_argument("--seed", type=int, default=1)
+
+    record = sub.add_parser("record", help="record an execution")
+    add_workload_options(record)
+    record.add_argument("--mode", choices=sorted(_MODES),
+                        default="order-only")
+    record.add_argument("--chunk-size", type=int, default=None)
+    record.add_argument("--stratify", action="store_true",
+                        help="also stratify the PI log (Section 4.3)")
+    record.add_argument("--checkpoint-every", type=int, default=0,
+                        metavar="N",
+                        help="take an interval checkpoint every N "
+                             "commits")
+    record.add_argument("-o", "--output", help="write the recording "
+                                               "to this file")
+    record.set_defaults(func=_cmd_record)
+
+    replay = sub.add_parser("replay",
+                            help="deterministically replay a recording")
+    replay.add_argument("recording")
+    replay.add_argument("--perturb-seed", type=int, default=None,
+                        help="inject the paper's replay-timing noise")
+    replay.add_argument("--strata", action="store_true",
+                        help="replay from the stratified PI log")
+    replay.add_argument("--from-commit", type=int, default=None,
+                        metavar="N",
+                        help="interval replay from the newest "
+                             "checkpoint at or before commit N")
+    replay.set_defaults(func=_cmd_replay)
+
+    inspect = sub.add_parser("inspect", help="describe a recording")
+    inspect.add_argument("recording")
+    inspect.add_argument("--timeline", action="store_true")
+    inspect.add_argument("--interleaving", action="store_true")
+    inspect.add_argument("--limit", type=int, default=40)
+    inspect.set_defaults(func=_cmd_inspect)
+
+    modes = sub.add_parser(
+        "modes", help="compare the three execution modes on a workload")
+    add_workload_options(modes)
+    modes.set_defaults(func=_cmd_modes)
+
+    races = sub.add_parser(
+        "races", help="report cross-writer contention in a recording")
+    races.add_argument("recording")
+    races.add_argument("--top", type=int, default=10,
+                       help="contended lines to show (default 10)")
+    races.add_argument("--no-dma", action="store_true",
+                       help="ignore DMA writes (processor-processor "
+                            "contention only)")
+    races.add_argument("--replay", action="store_true",
+                       help="interval-replay the window around the "
+                            "tightest cross-writer pair")
+    races.set_defaults(func=_cmd_races)
+
+    diff = sub.add_parser(
+        "diff", help="find where two recordings of the same program "
+                     "diverge")
+    diff.add_argument("left")
+    diff.add_argument("right")
+    diff.set_defaults(func=_cmd_diff)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Bit-level log packing and LZ77 compression.
+
+The paper's log-size results are reported in bits per processor per
+kilo-instruction, both raw and after compression with "compression
+hardware that uses the LZ77 algorithm" (Section 5).  This subpackage
+provides the two pieces needed to reproduce those numbers: a
+:class:`~repro.compression.bitstream.BitWriter`/
+:class:`~repro.compression.bitstream.BitReader` pair for the exact
+bit-level entry formats of Table 5, and an
+:class:`~repro.compression.lz77.LZ77Codec` for the compressed sizes.
+An :class:`~repro.compression.entropy.MTFCodec` (move-to-front +
+zero-RLE + Elias gamma) is provided as an alternative better matched
+to the PI log's low-cardinality symbol stream at simulation scale; see
+``benchmarks/bench_codec_comparison.py``.
+"""
+
+from repro.compression.bitstream import BitReader, BitWriter
+from repro.compression.entropy import (
+    LRURankCodec,
+    MTFCodec,
+    lru_compressed_size_bits,
+    mtf_compressed_size_bits,
+    read_elias_gamma,
+    write_elias_gamma,
+)
+from repro.compression.lz77 import LZ77Codec, compressed_size_bits
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "LZ77Codec",
+    "compressed_size_bits",
+    "MTFCodec",
+    "LRURankCodec",
+    "mtf_compressed_size_bits",
+    "lru_compressed_size_bits",
+    "read_elias_gamma",
+    "write_elias_gamma",
+]

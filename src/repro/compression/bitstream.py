@@ -1,0 +1,106 @@
+"""Bit-granular serialization for hardware log formats.
+
+DeLorean's logs use odd-sized fields (4-bit processor IDs, 21-bit
+distances, 11-bit chunk sizes, 1-bit flags -- Table 5), so byte-oriented
+serialization would distort the log-size results.  ``BitWriter`` packs
+fields MSB-first into a growing byte buffer; ``BitReader`` reads them
+back.  Round-tripping is exact: for any sequence of (value, width)
+writes, reading the same widths returns the same values.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LogFormatError
+
+
+class BitWriter:
+    """Accumulates integer fields of arbitrary bit width, MSB-first."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._bit_position = 0  # bits already used in the last byte
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``value`` as a ``width``-bit unsigned field.
+
+        Raises :class:`LogFormatError` if the value does not fit.
+        """
+        if width <= 0:
+            raise LogFormatError(f"field width must be positive, got {width}")
+        if value < 0 or value >= (1 << width):
+            raise LogFormatError(
+                f"value {value} does not fit in {width} bits")
+        remaining = width
+        while remaining > 0:
+            if self._bit_position == 0:
+                self._buffer.append(0)
+            free = 8 - self._bit_position
+            take = min(free, remaining)
+            shift = remaining - take
+            bits = (value >> shift) & ((1 << take) - 1)
+            self._buffer[-1] |= bits << (free - take)
+            self._bit_position = (self._bit_position + take) % 8
+            remaining -= take
+
+    def write_flag(self, flag: bool) -> None:
+        """Append a single-bit boolean field."""
+        self.write(1 if flag else 0, 1)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        if not self._buffer:
+            return 0
+        partial = self._bit_position if self._bit_position else 8
+        return (len(self._buffer) - 1) * 8 + partial
+
+    def to_bytes(self) -> bytes:
+        """Return the packed buffer (final byte zero-padded)."""
+        return bytes(self._buffer)
+
+
+class BitReader:
+    """Reads integer fields of arbitrary bit width, MSB-first."""
+
+    def __init__(self, data: bytes, bit_length: int | None = None) -> None:
+        self._data = data
+        self._bit_length = (
+            len(data) * 8 if bit_length is None else bit_length)
+        if self._bit_length > len(data) * 8:
+            raise LogFormatError(
+                "declared bit length exceeds the buffer size")
+        self._position = 0
+
+    def read(self, width: int) -> int:
+        """Read the next ``width``-bit unsigned field."""
+        if width <= 0:
+            raise LogFormatError(f"field width must be positive, got {width}")
+        if self._position + width > self._bit_length:
+            raise LogFormatError(
+                f"read of {width} bits at position {self._position} "
+                f"overruns a {self._bit_length}-bit stream")
+        value = 0
+        remaining = width
+        while remaining > 0:
+            byte_index, bit_index = divmod(self._position, 8)
+            available = 8 - bit_index
+            take = min(available, remaining)
+            chunk = self._data[byte_index] >> (available - take)
+            chunk &= (1 << take) - 1
+            value = (value << take) | chunk
+            self._position += take
+            remaining -= take
+        return value
+
+    def read_flag(self) -> bool:
+        """Read a single-bit boolean field."""
+        return self.read(1) == 1
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits left before the declared end of the stream."""
+        return self._bit_length - self._position
+
+    def at_end(self) -> bool:
+        """True when the declared bit length has been consumed."""
+        return self._position >= self._bit_length

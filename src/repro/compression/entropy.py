@@ -1,0 +1,232 @@
+"""A move-to-front entropy codec for low-cardinality symbol streams.
+
+The paper compresses all log buffers with LZ77 hardware (Section 5),
+and at the authors' scale (billions of committed chunks) that works
+well.  At simulation scale the LZ77 window rarely sees the long exact
+repeats it needs, so EXPERIMENTS.md reports compression as largely
+ineffective.  The PI log, however, is not random: commit grants cluster
+by processor (a processor granted now is disproportionately likely to
+be granted again soon, and idle processors disappear for long
+stretches), which is exactly the locality a move-to-front transform
+converts into small ranks.
+
+This codec chains three classic stages, all bit-level and lossless:
+
+1. **Move-to-front** over the symbol alphabet: each symbol is replaced
+   by its rank in a recency list, then moved to the front.  Repeats
+   become rank 0; recently-seen symbols become small ranks.
+2. **Zero run-length**: runs of rank 0 collapse to a single run token.
+3. **Elias gamma** for the variable-length integers (run lengths and
+   non-zero ranks), so frequent small values cost few bits.
+
+Token format (written with :class:`BitWriter`):
+
+* zero run:       flag ``0`` + gamma(run length)
+* non-zero rank:  flag ``1`` + gamma(rank)
+
+Like the LZ77 wrapper, :func:`mtf_compressed_size_bits` caps the
+result at the raw packed size, mirroring a hardware bypass path.
+"""
+
+from __future__ import annotations
+
+from repro.compression.bitstream import BitReader, BitWriter
+from repro.errors import LogFormatError
+
+
+def write_elias_gamma(writer: BitWriter, value: int) -> None:
+    """Append the Elias-gamma code of ``value`` (>= 1).
+
+    Gamma codes a positive integer as ``N`` zero bits followed by the
+    ``N + 1``-bit binary form of the value, where ``N`` is the number
+    of bits below the leading one: 1 -> ``1``, 2 -> ``010``,
+    5 -> ``00101``.
+    """
+    if value < 1:
+        raise LogFormatError(
+            f"Elias gamma codes positive integers, got {value}")
+    width = value.bit_length()
+    if width > 1:
+        writer.write(0, width - 1)
+    writer.write(value, width)
+
+
+def read_elias_gamma(reader: BitReader) -> int:
+    """Consume one Elias-gamma code; inverse of
+    :func:`write_elias_gamma`."""
+    zeros = 0
+    while True:
+        if reader.bits_remaining < 1:
+            raise LogFormatError("truncated Elias-gamma code")
+        if reader.read(1):
+            break
+        zeros += 1
+    if reader.bits_remaining < zeros:
+        raise LogFormatError("truncated Elias-gamma code")
+    rest = reader.read(zeros) if zeros else 0
+    return (1 << zeros) | rest
+
+
+class MTFCodec:
+    """Move-to-front + zero-RLE + Elias gamma over a fixed alphabet."""
+
+    def __init__(self, num_symbols: int) -> None:
+        if num_symbols < 1:
+            raise LogFormatError("the alphabet needs at least 1 symbol")
+        self.num_symbols = num_symbols
+
+    def compress(self, symbols: list[int]) -> tuple[bytes, int]:
+        """Compress a symbol stream; returns ``(payload, bit_length)``."""
+        recency = list(range(self.num_symbols))
+        writer = BitWriter()
+        zero_run = 0
+        for symbol in symbols:
+            if not 0 <= symbol < self.num_symbols:
+                raise LogFormatError(
+                    f"symbol {symbol} outside alphabet of size "
+                    f"{self.num_symbols}")
+            rank = recency.index(symbol)
+            if rank:
+                recency.pop(rank)
+                recency.insert(0, symbol)
+                if zero_run:
+                    writer.write_flag(False)
+                    write_elias_gamma(writer, zero_run)
+                    zero_run = 0
+                writer.write_flag(True)
+                write_elias_gamma(writer, rank)
+            else:
+                zero_run += 1
+        if zero_run:
+            writer.write_flag(False)
+            write_elias_gamma(writer, zero_run)
+        return writer.to_bytes(), writer.bit_length
+
+    def decompress(self, payload: bytes, bit_length: int) -> list[int]:
+        """Invert :meth:`compress`."""
+        recency = list(range(self.num_symbols))
+        reader = BitReader(payload, bit_length)
+        out: list[int] = []
+        # A token costs at least flag + gamma(1) = 2 bits; anything
+        # shorter is final-byte padding.
+        while reader.bits_remaining >= 2:
+            if reader.read_flag():
+                rank = read_elias_gamma(reader)
+                if rank >= self.num_symbols:
+                    raise LogFormatError(
+                        f"rank {rank} outside alphabet of size "
+                        f"{self.num_symbols}")
+                symbol = recency.pop(rank)
+                recency.insert(0, symbol)
+                out.append(symbol)
+            else:
+                run = read_elias_gamma(reader)
+                out.extend([recency[0]] * run)
+        return out
+
+
+class LRURankCodec:
+    """Least-recently-used rank coding for fair-arbitration streams.
+
+    Move-to-front assumes *recency* locality; the PI log of a chunked
+    machine has the opposite structure.  Fair commit arbitration
+    rotates grants over the ready processors, so the most likely next
+    committer is the one granted *longest ago* -- under MTF that is
+    the deepest rank, the most expensive code.  This codec inverts the
+    prediction: each symbol is coded by its rank from the *rear* of
+    the recency list (0 = least recently used), Elias-gamma'd, so a
+    fair rotation costs ~1 bit per entry.
+
+    The recency list is learned, not preset: a symbol's first
+    occurrence is escaped as rank ``len(seen)`` (unambiguous -- real
+    ranks stop at ``len(seen) - 1``) followed by its fixed-width ID,
+    so sparse alphabets (a 4-bit procID field naming only 9 agents)
+    cost nothing.
+
+    Token format: gamma(rank + 1); an escape is gamma(len(seen) + 1)
+    plus ``symbol_bits`` raw bits.
+    """
+
+    def __init__(self, num_symbols: int) -> None:
+        if num_symbols < 1:
+            raise LogFormatError("the alphabet needs at least 1 symbol")
+        self.num_symbols = num_symbols
+        self.symbol_bits = max(1, (num_symbols - 1).bit_length())
+
+    def compress(self, symbols: list[int]) -> tuple[bytes, int]:
+        """Compress a symbol stream; returns ``(payload, bit_length)``."""
+        seen: list[int] = []  # front = most recently used
+        writer = BitWriter()
+        for symbol in symbols:
+            if not 0 <= symbol < self.num_symbols:
+                raise LogFormatError(
+                    f"symbol {symbol} outside alphabet of size "
+                    f"{self.num_symbols}")
+            if symbol in seen:
+                index = seen.index(symbol)
+                rank = len(seen) - 1 - index
+                write_elias_gamma(writer, rank + 1)
+                seen.pop(index)
+            else:
+                write_elias_gamma(writer, len(seen) + 1)
+                writer.write(symbol, self.symbol_bits)
+            seen.insert(0, symbol)
+        return writer.to_bytes(), writer.bit_length
+
+    def decompress(self, payload: bytes, bit_length: int) -> list[int]:
+        """Invert :meth:`compress`."""
+        seen: list[int] = []
+        reader = BitReader(payload, bit_length)
+        out: list[int] = []
+        while reader.bits_remaining >= 1:
+            code = read_elias_gamma(reader)
+            if code == len(seen) + 1:
+                if reader.bits_remaining < self.symbol_bits:
+                    raise LogFormatError("truncated escape token")
+                symbol = reader.read(self.symbol_bits)
+                if symbol >= self.num_symbols or symbol in seen:
+                    raise LogFormatError(
+                        f"invalid escaped symbol {symbol}")
+            elif code <= len(seen):
+                rank = code - 1
+                symbol = seen.pop(len(seen) - 1 - rank)
+            else:
+                raise LogFormatError(
+                    f"rank code {code} exceeds the {len(seen)} symbols "
+                    f"seen")
+            seen.insert(0, symbol)
+            out.append(symbol)
+        return out
+
+
+def lru_compressed_size_bits(
+    symbols: list[int],
+    num_symbols: int,
+    raw_bits: int | None = None,
+) -> int:
+    """Compressed size of a symbol stream under LRU-rank coding,
+    capped at ``raw_bits`` (the hardware bypass path)."""
+    if not symbols:
+        return 0
+    _, bit_length = LRURankCodec(num_symbols).compress(symbols)
+    if raw_bits is not None:
+        return min(bit_length, raw_bits)
+    return bit_length
+
+
+def mtf_compressed_size_bits(
+    symbols: list[int],
+    num_symbols: int,
+    raw_bits: int | None = None,
+) -> int:
+    """Compressed size of a symbol stream in bits under the MTF codec.
+
+    ``raw_bits`` is the stream's packed size (entries times entry
+    width); the result is capped at it, mirroring a hardware bypass.
+    """
+    if not symbols:
+        return 0
+    _, bit_length = MTFCodec(num_symbols).compress(symbols)
+    if raw_bits is not None:
+        return min(bit_length, raw_bits)
+    return bit_length

@@ -1,0 +1,38 @@
+"""DeLorean proper: modes, logs, arbiter, recorder, stratifier, replayer.
+
+The public entry point is :class:`~repro.core.delorean.DeLoreanSystem`,
+which records an execution of a concurrent program under a chosen
+execution mode (Order&Size, OrderOnly, PicoLog -- Table 2) and
+deterministically replays the resulting :class:`~repro.core.recorder.Recording`.
+"""
+
+from repro.core.modes import ExecutionMode, ModeConfig, preferred_config
+from repro.core.logs import (
+    ChunkSizeLog,
+    DMALog,
+    InterruptLog,
+    IOLog,
+    MemoryOrderingLog,
+    PILog,
+)
+from repro.core.recorder import Recording
+from repro.core.replayer import ReplayResult
+from repro.core.delorean import DeLoreanSystem
+from repro.core.serialization import load_recording, save_recording
+
+__all__ = [
+    "ExecutionMode",
+    "ModeConfig",
+    "preferred_config",
+    "PILog",
+    "ChunkSizeLog",
+    "InterruptLog",
+    "IOLog",
+    "DMALog",
+    "MemoryOrderingLog",
+    "Recording",
+    "ReplayResult",
+    "DeLoreanSystem",
+    "save_recording",
+    "load_recording",
+]

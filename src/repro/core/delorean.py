@@ -1,0 +1,169 @@
+"""DeLoreanSystem: the public record/replay API.
+
+This is the façade a user of the library interacts with::
+
+    from repro import DeLoreanSystem, ExecutionMode
+    from repro.workloads import splash2_program
+
+    program = splash2_program("fft", scale=0.25, seed=7)
+    system = DeLoreanSystem(mode=ExecutionMode.ORDER_ONLY)
+    recording = system.record(program)
+    result = system.replay(recording)
+    assert result.determinism.matches
+
+``record`` runs the initial execution on the chunk-based machine and
+returns a :class:`~repro.core.recorder.Recording` (PI/CS/Interrupt/IO/
+DMA logs plus verification instrumentation).  ``replay`` re-executes
+the program under the recorded interleaving -- optionally with the
+paper's timing perturbation -- and verifies that the replayed commits,
+values and final memory match the recording exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.modes import ExecutionMode, ModeConfig, preferred_config
+from repro.core.recorder import Recording
+from repro.core.replayer import ReplayPerturbation, ReplayResult
+from repro.errors import ConfigurationError, ReplayDivergenceError
+from repro.machine.program import Program
+from repro.machine.system import record_execution, replay_execution
+from repro.machine.timing import MachineConfig
+
+
+class DeLoreanSystem:
+    """A configured DeLorean machine: record and replay executions."""
+
+    def __init__(
+        self,
+        mode: ExecutionMode = ExecutionMode.ORDER_ONLY,
+        machine_config: MachineConfig | None = None,
+        mode_config: ModeConfig | None = None,
+        chunk_size: int | None = None,
+        stratify: bool = False,
+        chunks_per_stratum: int = 1,
+        stochastic_overflow_rate: float = 0.0015,
+    ) -> None:
+        if mode_config is not None and mode_config.mode is not mode:
+            raise ConfigurationError(
+                f"mode_config is for {mode_config.mode}, not {mode}")
+        self.machine_config = machine_config or MachineConfig()
+        config = mode_config or preferred_config(mode)
+        if chunk_size is not None:
+            config = config.with_chunk_size(chunk_size)
+        if stratify:
+            config = config.with_stratification(chunks_per_stratum)
+        self.mode_config = config
+        self.stochastic_overflow_rate = stochastic_overflow_rate
+
+    @property
+    def mode(self) -> ExecutionMode:
+        """The configured execution mode."""
+        return self.mode_config.mode
+
+    def record(self, program: Program,
+               max_events: int | None = None,
+               checkpoint_every: int = 0) -> Recording:
+        """Run the initial execution and capture its logs.
+
+        ``checkpoint_every`` takes an interval checkpoint every N
+        logical commits (Appendix B / Section 3.3's pairing with
+        ReVive/SafetyNet); the checkpoints land on
+        ``recording.interval_checkpoints`` and seed
+        :meth:`replay_interval`.
+        """
+        # The machine's standard chunk size follows the mode config.
+        machine_config = replace(
+            self.machine_config,
+            standard_chunk_size=self.mode_config.standard_chunk_size)
+        return record_execution(
+            program,
+            machine_config,
+            self.mode_config,
+            stochastic_overflow_rate=self.stochastic_overflow_rate,
+            max_events=max_events,
+            checkpoint_every=checkpoint_every,
+        )
+
+    def replay(
+        self,
+        recording: Recording,
+        perturbation: ReplayPerturbation | None = None,
+        use_strata: bool | None = None,
+        require_determinism: bool = False,
+        max_events: int | None = None,
+    ) -> ReplayResult:
+        """Deterministically replay a recording.
+
+        ``perturbation`` injects the paper's replay-timing noise
+        (Section 6.2.1); pass ``ReplayPerturbation()`` to reproduce the
+        replay-speed methodology or leave ``None`` for noise-free
+        replay.  ``use_strata`` replays from the stratified PI log
+        instead of the plain one.  With ``require_determinism`` the
+        call raises :class:`ReplayDivergenceError` on any mismatch
+        instead of returning a failing report.
+        """
+        result = replay_execution(
+            recording,
+            perturbation=perturbation,
+            use_strata=use_strata,
+            stochastic_overflow_rate=(
+                self.stochastic_overflow_rate if perturbation else 0.0),
+            max_events=max_events,
+        )
+        if require_determinism and not result.determinism.matches:
+            raise ReplayDivergenceError(result.determinism.summary())
+        return result
+
+    def replay_interval(
+        self,
+        recording: Recording,
+        checkpoint=None,
+        at_commit: int | None = None,
+        length: int | None = None,
+        perturbation: ReplayPerturbation | None = None,
+        require_determinism: bool = False,
+        max_events: int | None = None,
+    ) -> ReplayResult:
+        """Replay the interval I(n, m) from a commit-boundary
+        checkpoint (Appendix B).
+
+        Pass either ``checkpoint`` (an
+        :class:`~repro.core.interval.IntervalCheckpoint` from
+        ``recording.interval_checkpoints``) or ``at_commit`` to pick
+        the newest checkpoint at or before that global commit count.
+        ``length`` bounds the interval to m commits (default: to the
+        end of the recording).  Verification compares the replayed
+        window.
+        """
+        if checkpoint is None:
+            store = recording.interval_checkpoints
+            if store is None or len(store) == 0:
+                raise ConfigurationError(
+                    "the recording has no interval checkpoints; record "
+                    "with checkpoint_every=N")
+            if at_commit is None:
+                raise ConfigurationError(
+                    "pass a checkpoint or an at_commit position")
+            checkpoint = store.at_or_before(at_commit)
+        result = replay_execution(
+            recording,
+            perturbation=perturbation,
+            use_strata=False,
+            stochastic_overflow_rate=(
+                self.stochastic_overflow_rate if perturbation else 0.0),
+            max_events=max_events,
+            start_checkpoint=checkpoint,
+            stop_after=length or 0,
+        )
+        if require_determinism and not result.determinism.matches:
+            raise ReplayDivergenceError(result.determinism.summary())
+        return result
+
+    def record_and_verify(self, program: Program) -> \
+            tuple[Recording, ReplayResult]:
+        """Record, then immediately replay with verification on."""
+        recording = self.record(program)
+        result = self.replay(recording, require_determinism=True)
+        return recording, result

@@ -1,0 +1,507 @@
+"""DeLorean's logs, with the exact bit-level formats of Table 5.
+
+The *memory-ordering log* is the pair (PI log, CS logs) -- it replaces
+the Memory Races Log of FDR/RTR and the Strata log (Section 3.3).  The
+*input logs* (Interrupt, I/O, DMA) capture external non-determinism and
+are handled similarly by all replay schemes, so the paper's size
+comparisons -- and ours -- cover only the memory-ordering log.
+
+Every log encodes to a packed bit stream (:mod:`repro.compression.bitstream`)
+and decodes back; round-trip identity is property-tested.  Compressed
+sizes use the LZ77 codec, mirroring the paper's per-buffer compression
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compression.bitstream import BitReader, BitWriter
+from repro.compression.entropy import (
+    lru_compressed_size_bits,
+    mtf_compressed_size_bits,
+)
+from repro.compression.lz77 import compressed_size_bits
+from repro.core.modes import ExecutionMode, ModeConfig
+from repro.errors import LogFormatError
+
+
+class PILog:
+    """Processor-Interleaving log: the total order of chunk commits.
+
+    Each entry is just the committing processor's ID (4 bits in the
+    8-processor + DMA configuration of Table 5).  The arbiter appends an
+    entry when it grants commit permission; during replay it consumes
+    entries to enforce the same interleaving.
+    """
+
+    def __init__(self, entry_bits: int = 4) -> None:
+        if entry_bits < 1:
+            raise LogFormatError("PI entries need at least one bit")
+        self.entry_bits = entry_bits
+        self.entries: list[int] = []
+
+    def append(self, proc_id: int) -> None:
+        """Record that ``proc_id`` was granted a chunk commit."""
+        if proc_id < 0 or proc_id >= (1 << self.entry_bits):
+            raise LogFormatError(
+                f"procID {proc_id} does not fit in {self.entry_bits} bits")
+        self.entries.append(proc_id)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def encode(self) -> tuple[bytes, int]:
+        """Packed (payload, bit_length)."""
+        writer = BitWriter()
+        for proc_id in self.entries:
+            writer.write(proc_id, self.entry_bits)
+        return writer.to_bytes(), writer.bit_length
+
+    @classmethod
+    def decode(cls, payload: bytes, bit_length: int,
+               entry_bits: int = 4) -> "PILog":
+        """Invert :meth:`encode`."""
+        log = cls(entry_bits)
+        reader = BitReader(payload, bit_length)
+        while reader.bits_remaining >= entry_bits:
+            log.entries.append(reader.read(entry_bits))
+        return log
+
+    @property
+    def size_bits(self) -> int:
+        """Uncompressed size in bits."""
+        return len(self.entries) * self.entry_bits
+
+    def compressed_size_bits(self) -> int:
+        """Size in bits after LZ77 compression."""
+        payload, bits = self.encode()
+        return compressed_size_bits(payload, raw_bits=bits)
+
+    def mtf_compressed_size_bits(self) -> int:
+        """Size in bits under the move-to-front entropy codec (see
+        :mod:`repro.compression.entropy`; kept as the recency-locality
+        baseline -- PI streams are anti-recent, see
+        :meth:`lru_compressed_size_bits`)."""
+        return mtf_compressed_size_bits(
+            self.entries, 1 << self.entry_bits,
+            raw_bits=self.size_bits)
+
+    def lru_compressed_size_bits(self) -> int:
+        """Size in bits under LRU-rank coding, the transform matched
+        to fair commit arbitration (the least-recently-granted
+        processor is the most likely next committer; see
+        :class:`repro.compression.entropy.LRURankCodec`)."""
+        return lru_compressed_size_bits(
+            self.entries, 1 << self.entry_bits,
+            raw_bits=self.size_bits)
+
+
+@dataclass(frozen=True)
+class CSEntry:
+    """One Chunk-Size log entry.
+
+    In Order&Size, every committed chunk gets an entry and ``distance``
+    is unused (entries are in commit order).  In OrderOnly/PicoLog only
+    non-deterministically truncated chunks get entries; ``distance`` is
+    the number of chunks this processor committed since its previous
+    truncated chunk (the paper's space-efficient stand-in for an
+    absolute chunkID), and ``size`` is the truncated size.
+    """
+
+    distance: int
+    size: int
+
+
+class ChunkSizeLog:
+    """Per-processor CS log with mode-dependent entry formats.
+
+    * Order&Size (Table 5): a variable-sized entry per chunk -- a single
+      ``1`` bit for a maximum-size chunk, else a ``0`` bit followed by
+      an 11-bit size.
+    * OrderOnly / PicoLog: a fixed 32-bit entry per *truncated* chunk:
+      a 21/22-bit distance plus an 11/10-bit size.  Distances too large
+      for the field are carried by extension entries with the reserved
+      size ``0`` (real chunks are never empty in these modes' CS logs).
+    """
+
+    def __init__(self, mode_config: ModeConfig) -> None:
+        self.config = mode_config
+        self.entries: list[CSEntry] = []
+        self._since_last_truncation = 0
+
+    # -- recording interface ------------------------------------------
+
+    def note_commit(self, size: int, truncated: bool) -> None:
+        """Account one committed chunk.
+
+        ``truncated`` means *non-deterministically* truncated (cache
+        overflow or repeated collision); deterministic truncations are
+        not logged because they reappear in replay (Section 4.2.2).
+        """
+        if self.config.mode.logs_every_chunk_size:
+            self.entries.append(CSEntry(distance=0, size=size))
+            return
+        if truncated:
+            self.entries.append(CSEntry(
+                distance=self._since_last_truncation, size=size))
+            self._since_last_truncation = 0
+        else:
+            self._since_last_truncation += 1
+
+    # -- replay interface ---------------------------------------------
+
+    def sizes_in_order(self) -> list[int]:
+        """Order&Size replay: the size of every chunk, in commit order."""
+        if not self.config.mode.logs_every_chunk_size:
+            raise LogFormatError(
+                "per-chunk sizes exist only in Order&Size mode")
+        return [entry.size for entry in self.entries]
+
+    def truncations_by_seq(self) -> dict[int, int]:
+        """OrderOnly/PicoLog replay: map logical_seq -> forced size.
+
+        Reconstructs absolute per-processor chunk sequence numbers
+        (1-based commit order) from the stored distances.
+        """
+        if self.config.mode.logs_every_chunk_size:
+            raise LogFormatError(
+                "truncation map exists only in OrderOnly/PicoLog modes")
+        forced: dict[int, int] = {}
+        seq = 0
+        for entry in self.entries:
+            seq += entry.distance + 1
+            forced[seq] = entry.size
+        return forced
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- serialization -------------------------------------------------
+
+    def encode(self) -> tuple[bytes, int]:
+        """Packed (payload, bit_length) in the mode's entry format."""
+        writer = BitWriter()
+        if self.config.mode.logs_every_chunk_size:
+            max_size = self.config.standard_chunk_size
+            for entry in self.entries:
+                if entry.size >= max_size:
+                    writer.write_flag(True)
+                else:
+                    writer.write_flag(False)
+                    writer.write(entry.size, self.config.cs_size_bits)
+            return writer.to_bytes(), writer.bit_length
+        for entry in self.entries:
+            if entry.size == 0:
+                # Size 0 is the distance-extension sentinel; a real
+                # zero-instruction truncated chunk cannot be encoded
+                # (and the machine never produces one -- its stochastic
+                # truncation floor is one op unit).  Failing loudly
+                # beats silently losing the entry on decode.
+                raise LogFormatError(
+                    "cannot encode a zero-size CS entry (reserved as "
+                    "the distance-extension sentinel)")
+            distance = entry.distance
+            while distance > self.config.max_cs_distance:
+                # Extension entry: maximum distance, reserved size 0.
+                writer.write(self.config.max_cs_distance,
+                             self.config.cs_distance_bits)
+                writer.write(0, self.config.cs_size_bits)
+                distance -= self.config.max_cs_distance
+            writer.write(distance, self.config.cs_distance_bits)
+            writer.write(entry.size, self.config.cs_size_bits)
+        return writer.to_bytes(), writer.bit_length
+
+    @classmethod
+    def decode(cls, payload: bytes, bit_length: int,
+               mode_config: ModeConfig) -> "ChunkSizeLog":
+        """Invert :meth:`encode`."""
+        log = cls(mode_config)
+        reader = BitReader(payload, bit_length)
+        if mode_config.mode.logs_every_chunk_size:
+            while reader.bits_remaining >= 1:
+                if reader.bits_remaining < 1 + mode_config.cs_size_bits:
+                    # Could be a final max-size flag or padding; a flag
+                    # set to 1 is a real entry, 0 bits are padding.
+                    if reader.read_flag():
+                        log.entries.append(CSEntry(
+                            0, mode_config.standard_chunk_size))
+                    continue
+                if reader.read_flag():
+                    log.entries.append(CSEntry(
+                        0, mode_config.standard_chunk_size))
+                else:
+                    log.entries.append(CSEntry(
+                        0, reader.read(mode_config.cs_size_bits)))
+            return log
+        entry_bits = (mode_config.cs_distance_bits
+                      + mode_config.cs_size_bits)
+        pending_distance = 0
+        while reader.bits_remaining >= entry_bits:
+            distance = reader.read(mode_config.cs_distance_bits)
+            size = reader.read(mode_config.cs_size_bits)
+            if size == 0:
+                pending_distance += distance
+                continue
+            log.entries.append(CSEntry(pending_distance + distance, size))
+            pending_distance = 0
+        return log
+
+    @property
+    def size_bits(self) -> int:
+        """Uncompressed size in bits."""
+        _, bits = self.encode()
+        return bits
+
+    def compressed_size_bits(self) -> int:
+        """Size in bits after LZ77 compression."""
+        payload, bits = self.encode()
+        return compressed_size_bits(payload, raw_bits=bits)
+
+
+@dataclass(frozen=True)
+class InterruptEntry:
+    """One Interrupt log entry: when (chunkID), what (vector/payload),
+    and enough to rebuild the handler (length, priority).
+
+    ``commit_slot`` is PicoLog-only: the global chunk-commit count at
+    which the handler chunk was granted.  PicoLog has no PI log, so a
+    handler that re-activates an idle processor would otherwise have no
+    reproducible position in the round-robin grant sequence (compare
+    the DMA commit slots of Section 3.3).  Zero elsewhere.
+    """
+
+    chunk_id: int
+    vector: int
+    payload: int
+    handler_ops: int
+    high_priority: bool
+    commit_slot: int = 0
+
+
+class InterruptLog:
+    """Per-processor interrupt log (Section 3.3).
+
+    Time is recorded as the processor-local chunkID of the chunk that
+    initiates the handler, so replay needs no notion of wall-clock
+    interrupt arrival.
+    """
+
+    _CHUNK_ID_BITS = 32
+    _VECTOR_BITS = 8
+    _PAYLOAD_BITS = 64
+    _LENGTH_BITS = 16
+    _SLOT_BITS = 48
+
+    def __init__(self) -> None:
+        self.entries: list[InterruptEntry] = []
+
+    def append(self, entry: InterruptEntry) -> None:
+        """Record a handler-initiating chunk; entries must arrive in
+        commit (ascending chunkID) order."""
+        if self.entries and entry.chunk_id <= self.entries[-1].chunk_id:
+            raise LogFormatError(
+                f"interrupt chunkIDs must be strictly increasing: "
+                f"{entry.chunk_id} after {self.entries[-1].chunk_id}")
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def encode(self) -> tuple[bytes, int]:
+        """Packed (payload, bit_length)."""
+        writer = BitWriter()
+        for entry in self.entries:
+            writer.write(entry.chunk_id, self._CHUNK_ID_BITS)
+            writer.write(entry.vector, self._VECTOR_BITS)
+            writer.write(entry.payload, self._PAYLOAD_BITS)
+            writer.write(entry.handler_ops, self._LENGTH_BITS)
+            writer.write_flag(entry.high_priority)
+            writer.write(entry.commit_slot, self._SLOT_BITS)
+        return writer.to_bytes(), writer.bit_length
+
+    @classmethod
+    def decode(cls, payload: bytes, bit_length: int) -> "InterruptLog":
+        """Invert :meth:`encode`."""
+        log = cls()
+        reader = BitReader(payload, bit_length)
+        entry_bits = (cls._CHUNK_ID_BITS + cls._VECTOR_BITS
+                      + cls._PAYLOAD_BITS + cls._LENGTH_BITS + 1
+                      + cls._SLOT_BITS)
+        while reader.bits_remaining >= entry_bits:
+            log.entries.append(InterruptEntry(
+                chunk_id=reader.read(cls._CHUNK_ID_BITS),
+                vector=reader.read(cls._VECTOR_BITS),
+                payload=reader.read(cls._PAYLOAD_BITS),
+                handler_ops=reader.read(cls._LENGTH_BITS),
+                high_priority=reader.read_flag(),
+                commit_slot=reader.read(cls._SLOT_BITS),
+            ))
+        return log
+
+
+class IOLog:
+    """Per-processor I/O log: the values returned by uncached I/O loads,
+    in program order (Section 4.2.2)."""
+
+    _VALUE_BITS = 64
+
+    def __init__(self) -> None:
+        self.values: list[int] = []
+
+    def append(self, value: int) -> None:
+        """Record one I/O load value."""
+        self.values.append(value & ((1 << self._VALUE_BITS) - 1))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def encode(self) -> tuple[bytes, int]:
+        """Packed (payload, bit_length)."""
+        writer = BitWriter()
+        for value in self.values:
+            writer.write(value, self._VALUE_BITS)
+        return writer.to_bytes(), writer.bit_length
+
+    @classmethod
+    def decode(cls, payload: bytes, bit_length: int) -> "IOLog":
+        """Invert :meth:`encode`."""
+        log = cls()
+        reader = BitReader(payload, bit_length)
+        while reader.bits_remaining >= cls._VALUE_BITS:
+            log.values.append(reader.read(cls._VALUE_BITS))
+        return log
+
+
+@dataclass(frozen=True)
+class DMAEntry:
+    """One logged DMA burst: the data it wrote to memory."""
+
+    writes: tuple[tuple[int, int], ...]  # (address, value), sorted
+
+
+class DMALog:
+    """Shared DMA log (Section 3.3).
+
+    In modes with a PI log, DMA commits appear in the PI log under the
+    DMA's procID and the data lives here.  In PicoLog there is no PI
+    log, so the arbiter instead records each DMA's *commit slot* -- the
+    global chunk-commit count at which it was granted -- alongside the
+    data.
+    """
+
+    _COUNT_BITS = 16
+    _ADDRESS_BITS = 32
+    _VALUE_BITS = 64
+    _SLOT_BITS = 48
+
+    def __init__(self) -> None:
+        self.entries: list[DMAEntry] = []
+        self.commit_slots: list[int] = []  # PicoLog only
+
+    def append(self, writes: dict[int, int],
+               commit_slot: int | None = None) -> None:
+        """Record one DMA burst (and its commit slot in PicoLog)."""
+        self.entries.append(DMAEntry(tuple(sorted(writes.items()))))
+        if commit_slot is not None:
+            if self.commit_slots and commit_slot < self.commit_slots[-1]:
+                # Equal slots are fine: two DMA bursts can commit
+                # back-to-back between the same pair of chunk commits.
+                raise LogFormatError("DMA commit slots must not decrease")
+            self.commit_slots.append(commit_slot)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def encode(self) -> tuple[bytes, int]:
+        """Packed (payload, bit_length)."""
+        writer = BitWriter()
+        writer.write(len(self.commit_slots), self._COUNT_BITS)
+        for slot in self.commit_slots:
+            writer.write(slot, self._SLOT_BITS)
+        for entry in self.entries:
+            writer.write(len(entry.writes), self._COUNT_BITS)
+            for address, value in entry.writes:
+                writer.write(address, self._ADDRESS_BITS)
+                writer.write(value, self._VALUE_BITS)
+        return writer.to_bytes(), writer.bit_length
+
+    @classmethod
+    def decode(cls, payload: bytes, bit_length: int) -> "DMALog":
+        """Invert :meth:`encode`."""
+        log = cls()
+        reader = BitReader(payload, bit_length)
+        slot_count = reader.read(cls._COUNT_BITS)
+        for _ in range(slot_count):
+            log.commit_slots.append(reader.read(cls._SLOT_BITS))
+        while reader.bits_remaining >= cls._COUNT_BITS:
+            count = reader.read(cls._COUNT_BITS)
+            if count == 0 and reader.bits_remaining < (
+                    cls._ADDRESS_BITS + cls._VALUE_BITS):
+                break  # trailing padding
+            writes = []
+            for _ in range(count):
+                address = reader.read(cls._ADDRESS_BITS)
+                value = reader.read(cls._VALUE_BITS)
+                writes.append((address, value))
+            log.entries.append(DMAEntry(tuple(writes)))
+        return log
+
+
+@dataclass
+class MemoryOrderingLog:
+    """The PI log plus per-processor CS logs, with size accounting.
+
+    This is the structure whose size the paper's Figures 6-9 report, in
+    bits per processor per kilo-instruction: total log bits divided by
+    total committed kilo-instructions across all processors (so an
+    OrderOnly machine committing 2,000-instruction chunks with 4-bit PI
+    entries pays 2 bits per processor per kilo-instruction before
+    compression, matching Section 6.1).
+    """
+
+    pi_log: PILog
+    cs_logs: dict[int, ChunkSizeLog]
+    mode: ExecutionMode
+    stratified_pi_bits: int | None = None
+    stratified_pi_compressed_bits: int | None = None
+    # Figure 9: cap -> (raw bits, compressed bits) for each
+    # chunks-per-stratum configuration the recorder tracked.
+    stratified_by_cap: dict[int, tuple[int, int]] = field(
+        default_factory=dict)
+    _cs_encoded: list[tuple[bytes, int]] = field(default_factory=list,
+                                                 repr=False)
+
+    def pi_size_bits(self, compressed: bool = False) -> int:
+        """PI log size (zero in PicoLog)."""
+        if not self.mode.has_pi_log:
+            return 0
+        if compressed:
+            return self.pi_log.compressed_size_bits()
+        return self.pi_log.size_bits
+
+    def cs_size_bits(self, compressed: bool = False) -> int:
+        """Total CS log size across processors."""
+        if compressed:
+            return sum(log.compressed_size_bits()
+                       for log in self.cs_logs.values())
+        return sum(log.size_bits for log in self.cs_logs.values())
+
+    def total_size_bits(self, compressed: bool = False) -> int:
+        """Memory-ordering log size = PI + CS."""
+        return (self.pi_size_bits(compressed)
+                + self.cs_size_bits(compressed))
+
+    def bits_per_proc_per_kiloinst(
+        self,
+        total_committed_instructions: int,
+        compressed: bool = False,
+    ) -> float:
+        """The paper's headline metric (Figures 6-8)."""
+        if total_committed_instructions <= 0:
+            return 0.0
+        return (self.total_size_bits(compressed) * 1000.0
+                / total_committed_instructions)

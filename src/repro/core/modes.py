@@ -1,0 +1,167 @@
+"""DeLorean execution modes and their preferred configurations.
+
+Table 2 of the paper defines three execution modes along two axes --
+whether *chunking* is deterministic and whether the *commit
+interleaving* is predefined:
+
+* **Order&Size** -- non-deterministic chunking, recorded interleaving.
+  The arbiter logs committing processor IDs (PI log) and every
+  processor logs every chunk's size (CS log).
+* **OrderOnly** -- deterministic chunking, recorded interleaving.  Only
+  the PI log is needed, plus a tiny CS log for the rare chunks
+  truncated non-deterministically.
+* **PicoLog** -- deterministic chunking *and* predefined (round-robin)
+  commit order.  No PI log at all; only the tiny CS log remains.
+
+The preferred per-mode parameters come from Table 5: 2,000-instruction
+chunks for Order&Size/OrderOnly, 1,000 for PicoLog; 4-bit PI entries;
+variable 1-or-12-bit CS entries in Order&Size; 32-bit CS entries
+(21-bit distance + 11-bit size, or 22 + 10 for PicoLog) otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+class ExecutionMode(enum.Enum):
+    """The chunk-based execution modes of Table 2.
+
+    The paper develops three; the fourth quadrant of its design-space
+    table -- non-deterministic chunking with a *predefined* commit
+    interleaving -- is dismissed as "unattractive: we save log space in
+    the arbiter only to use more in the processors".  It is implemented
+    here as ``SIZE_ONLY`` so that claim can be measured
+    (``benchmarks/bench_table2_quadrants.py``).
+    """
+
+    ORDER_AND_SIZE = "order_and_size"
+    ORDER_ONLY = "order_only"
+    PICOLOG = "picolog"
+    SIZE_ONLY = "size_only"
+
+    @property
+    def has_pi_log(self) -> bool:
+        """Modes with a predefined commit order need no PI log."""
+        return self in (ExecutionMode.ORDER_AND_SIZE,
+                        ExecutionMode.ORDER_ONLY)
+
+    @property
+    def predefined_order(self) -> bool:
+        """Round-robin commit initiation instead of a recorded order."""
+        return not self.has_pi_log
+
+    @property
+    def logs_every_chunk_size(self) -> bool:
+        """Non-deterministic chunking: every chunk's size is logged."""
+        return self in (ExecutionMode.ORDER_AND_SIZE,
+                        ExecutionMode.SIZE_ONLY)
+
+
+@dataclass(frozen=True)
+class ModeConfig:
+    """Everything mode-specific about recording and replay.
+
+    ``cs_distance_bits``/``cs_size_bits`` define the fixed 32-bit CS
+    entry of OrderOnly/PicoLog (Table 5).  ``variable_truncation_rate``
+    models Order&Size's variable-sized chunk environment: the paper
+    artificially truncates 25% of chunks to a uniformly-distributed
+    size.  ``stratify`` turns on the Section 4.3 PI-log stratification
+    with at most ``chunks_per_stratum`` committed chunks per processor
+    per stratum.
+    """
+
+    mode: ExecutionMode
+    standard_chunk_size: int
+    cs_distance_bits: int = 21
+    cs_size_bits: int = 11
+    variable_truncation_rate: float = 0.25
+    min_artificial_chunk: int = 8
+    stratify: bool = False
+    chunks_per_stratum: int = 1
+
+    def __post_init__(self) -> None:
+        if self.standard_chunk_size < 8:
+            raise ConfigurationError("standard chunk size must be >= 8")
+        if self.cs_distance_bits + self.cs_size_bits > 64:
+            raise ConfigurationError("CS entry exceeds 64 bits")
+        if not 0.0 <= self.variable_truncation_rate <= 1.0:
+            raise ConfigurationError(
+                "variable truncation rate must be a probability")
+        if self.stratify and not self.mode.has_pi_log:
+            raise ConfigurationError(
+                "stratification only applies to modes with a PI log")
+        if self.chunks_per_stratum < 1:
+            raise ConfigurationError("chunks_per_stratum must be >= 1")
+
+    @property
+    def max_cs_size(self) -> int:
+        """Largest chunk size representable in a CS entry."""
+        return (1 << self.cs_size_bits) - 1
+
+    @property
+    def max_cs_distance(self) -> int:
+        """Largest inter-truncation distance representable."""
+        return (1 << self.cs_distance_bits) - 1
+
+    def with_chunk_size(self, size: int) -> "ModeConfig":
+        """This configuration with a different standard chunk size.
+
+        Used by the chunk-size sweeps of Figures 6-8 and 12.  As in the
+        paper's experiments, the CS entry stays 32 bits wide: the size
+        field grows to fit the new chunk size and the distance field
+        shrinks to match ("we keep the CS log entry size constant, thus
+        changing the distance bits", Section 5).
+        """
+        size_bits = size.bit_length()
+        return replace(
+            self,
+            standard_chunk_size=size,
+            cs_size_bits=size_bits,
+            cs_distance_bits=max(1, 32 - size_bits),
+        )
+
+    def with_stratification(self, chunks_per_stratum: int) -> "ModeConfig":
+        """This configuration with PI-log stratification enabled."""
+        return replace(self, stratify=True,
+                       chunks_per_stratum=chunks_per_stratum)
+
+
+def preferred_config(mode: ExecutionMode) -> ModeConfig:
+    """The paper's preferred configuration for each mode (Table 5)."""
+    if mode is ExecutionMode.ORDER_AND_SIZE:
+        return ModeConfig(
+            mode=mode,
+            standard_chunk_size=2000,
+            cs_size_bits=11,
+            variable_truncation_rate=0.25,
+        )
+    if mode is ExecutionMode.ORDER_ONLY:
+        return ModeConfig(
+            mode=mode,
+            standard_chunk_size=2000,
+            cs_distance_bits=21,
+            cs_size_bits=11,
+            variable_truncation_rate=0.0,
+        )
+    if mode is ExecutionMode.PICOLOG:
+        return ModeConfig(
+            mode=mode,
+            standard_chunk_size=1000,
+            cs_distance_bits=22,
+            cs_size_bits=10,
+            variable_truncation_rate=0.0,
+        )
+    if mode is ExecutionMode.SIZE_ONLY:
+        # The unattractive quadrant: PicoLog's commit discipline with
+        # Order&Size's chunking and per-chunk size logging.
+        return ModeConfig(
+            mode=mode,
+            standard_chunk_size=1000,
+            cs_size_bits=10,
+            variable_truncation_rate=0.25,
+        )
+    raise ConfigurationError(f"unknown mode {mode!r}")

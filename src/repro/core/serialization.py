@@ -1,0 +1,194 @@
+"""Persisting recordings: a binary container for DeLorean's logs.
+
+A :class:`~repro.core.recorder.Recording` in memory holds decoded log
+objects plus verification instrumentation.  On disk, the hardware logs
+are what matter, and they are stored in their native bit-packed wire
+formats (Table 5) inside a small tagged container:
+
+    magic  "DLRN" | version u8 | mode tag u8 | header JSON (configs)
+    section* : tag u8 | proc id u16 | bit length u32 | payload bytes
+
+The program and the verification fingerprints are stored as a pickled
+trailer section -- they are simulation artifacts, not hardware state,
+but without them a loaded recording could be replayed and *not*
+verified, which would be a footgun.  ``save_recording``/
+``load_recording`` round-trip everything; the test suite checks that a
+loaded recording replays deterministically.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+import struct
+
+from repro.core.logs import (
+    ChunkSizeLog,
+    DMALog,
+    InterruptLog,
+    IOLog,
+    PILog,
+)
+from repro.core.modes import ExecutionMode, ModeConfig
+from repro.core.recorder import Recording
+from repro.errors import LogFormatError
+from repro.machine.timing import MachineConfig
+
+_MAGIC = b"DLRN"
+_VERSION = 1
+
+_SECTION_PI = 1
+_SECTION_CS = 2
+_SECTION_INTERRUPT = 3
+_SECTION_IO = 4
+_SECTION_DMA = 5
+_SECTION_TRAILER = 6
+_SECTION_END = 255
+
+
+def _write_section(buffer: io.BytesIO, tag: int, proc: int,
+                   payload: bytes, bit_length: int) -> None:
+    buffer.write(struct.pack(">BHI I", tag, proc, bit_length,
+                             len(payload)))
+    buffer.write(payload)
+
+
+def _mode_header(recording: Recording) -> bytes:
+    mode = recording.mode_config
+    machine = recording.machine_config
+    header = {
+        "mode": mode.mode.value,
+        "standard_chunk_size": mode.standard_chunk_size,
+        "cs_distance_bits": mode.cs_distance_bits,
+        "cs_size_bits": mode.cs_size_bits,
+        "variable_truncation_rate": mode.variable_truncation_rate,
+        "stratify": mode.stratify,
+        "chunks_per_stratum": mode.chunks_per_stratum,
+        "num_processors": machine.num_processors,
+        "pi_entry_bits": machine.pi_entry_bits,
+    }
+    return json.dumps(header, sort_keys=True).encode()
+
+
+def save_recording(recording: Recording) -> bytes:
+    """Serialize a recording to a self-contained byte blob."""
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    buffer.write(struct.pack(">B", _VERSION))
+    header = _mode_header(recording)
+    buffer.write(struct.pack(">I", len(header)))
+    buffer.write(header)
+
+    payload, bits = recording.pi_log.encode()
+    _write_section(buffer, _SECTION_PI, 0, payload, bits)
+    for proc, log in sorted(recording.cs_logs.items()):
+        payload, bits = log.encode()
+        _write_section(buffer, _SECTION_CS, proc, payload, bits)
+    for proc, log in sorted(recording.interrupt_logs.items()):
+        payload, bits = log.encode()
+        _write_section(buffer, _SECTION_INTERRUPT, proc, payload, bits)
+    for proc, log in sorted(recording.io_logs.items()):
+        payload, bits = log.encode()
+        _write_section(buffer, _SECTION_IO, proc, payload, bits)
+    payload, bits = recording.dma_log.encode()
+    _write_section(buffer, _SECTION_DMA, 0, payload, bits)
+
+    trailer = pickle.dumps({
+        "program": recording.program,
+        "machine_config": recording.machine_config,
+        "mode_config": recording.mode_config,
+        "strata": recording.strata,
+        "stratified": recording.stratified,
+        "fingerprints": recording.fingerprints,
+        "per_proc_fingerprints": recording.per_proc_fingerprints,
+        "final_memory": recording.final_memory,
+        "final_thread_keys": recording.final_thread_keys,
+        "stats": recording.stats,
+        "memory_ordering": recording.memory_ordering,
+        "interval_checkpoints": recording.interval_checkpoints,
+    })
+    _write_section(buffer, _SECTION_TRAILER, 0, trailer, 0)
+    buffer.write(struct.pack(">BHI I", _SECTION_END, 0, 0, 0))
+    return buffer.getvalue()
+
+
+def load_recording(blob: bytes) -> Recording:
+    """Invert :func:`save_recording`.
+
+    The hardware logs are decoded from their wire formats (not from
+    the pickled trailer), so a round trip genuinely exercises the
+    Table 5 encodings.
+    """
+    buffer = io.BytesIO(blob)
+    if buffer.read(4) != _MAGIC:
+        raise LogFormatError("not a DeLorean recording (bad magic)")
+    (version,) = struct.unpack(">B", buffer.read(1))
+    if version != _VERSION:
+        raise LogFormatError(f"unsupported recording version {version}")
+    (header_length,) = struct.unpack(">I", buffer.read(4))
+    header = json.loads(buffer.read(header_length))
+    mode = ExecutionMode(header["mode"])
+    mode_config = ModeConfig(
+        mode=mode,
+        standard_chunk_size=header["standard_chunk_size"],
+        cs_distance_bits=header["cs_distance_bits"],
+        cs_size_bits=header["cs_size_bits"],
+        variable_truncation_rate=header["variable_truncation_rate"],
+        stratify=header["stratify"],
+        chunks_per_stratum=header["chunks_per_stratum"],
+    )
+
+    pi_log = PILog(header["pi_entry_bits"])
+    cs_logs: dict[int, ChunkSizeLog] = {}
+    interrupt_logs: dict[int, InterruptLog] = {}
+    io_logs: dict[int, IOLog] = {}
+    dma_log = DMALog()
+    trailer: dict = {}
+    while True:
+        record = buffer.read(11)
+        if len(record) < 11:
+            raise LogFormatError("truncated recording (missing end tag)")
+        tag, proc, bits, size = struct.unpack(">BHI I", record)
+        if tag == _SECTION_END:
+            break
+        payload = buffer.read(size)
+        if len(payload) != size:
+            raise LogFormatError("truncated recording section")
+        if tag == _SECTION_PI:
+            pi_log = PILog.decode(payload, bits,
+                                  header["pi_entry_bits"])
+        elif tag == _SECTION_CS:
+            cs_logs[proc] = ChunkSizeLog.decode(payload, bits,
+                                                mode_config)
+        elif tag == _SECTION_INTERRUPT:
+            interrupt_logs[proc] = InterruptLog.decode(payload, bits)
+        elif tag == _SECTION_IO:
+            io_logs[proc] = IOLog.decode(payload, bits)
+        elif tag == _SECTION_DMA:
+            dma_log = DMALog.decode(payload, bits)
+        elif tag == _SECTION_TRAILER:
+            trailer = pickle.loads(payload)
+        else:
+            raise LogFormatError(f"unknown section tag {tag}")
+
+    machine_config: MachineConfig = trailer["machine_config"]
+    return Recording(
+        mode_config=trailer["mode_config"],
+        machine_config=machine_config,
+        program=trailer["program"],
+        pi_log=pi_log,
+        cs_logs=cs_logs,
+        interrupt_logs=interrupt_logs,
+        io_logs=io_logs,
+        dma_log=dma_log,
+        strata=trailer["strata"],
+        stratified=trailer["stratified"],
+        fingerprints=trailer["fingerprints"],
+        per_proc_fingerprints=trailer["per_proc_fingerprints"],
+        final_memory=trailer["final_memory"],
+        final_thread_keys=trailer["final_thread_keys"],
+        stats=trailer["stats"],
+        memory_ordering=trailer["memory_ordering"],
+        interval_checkpoints=trailer.get("interval_checkpoints"),
+    )

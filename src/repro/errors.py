@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, mode, or workload configuration is invalid."""
+
+
+class LogFormatError(ReproError):
+    """A log could not be encoded or decoded with the configured format."""
+
+
+class ReplayDivergenceError(ReproError):
+    """Replay diverged from the recorded execution.
+
+    This is the fatal condition a deterministic replayer must never hit;
+    it is raised (rather than silently tolerated) so tests can assert
+    determinism and users can detect corrupted or mismatched logs.
+    """
+
+
+class ExecutionError(ReproError):
+    """A simulated program performed an illegal operation."""
+
+
+class DeadlockError(ExecutionError):
+    """The simulated machine can make no further progress."""

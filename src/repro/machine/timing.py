@@ -1,0 +1,123 @@
+"""Machine configuration and the coarse timing model.
+
+The baseline configuration mirrors Table 5 of the paper: an 8-processor
+CMP, 32 KB 4-way L1 with 32 B lines, 2 Kbit signatures, 30-cycle commit
+arbitration round trip, up to 4 concurrent commits, 2 simultaneous
+chunks per processor, and a 300-cycle memory round trip.
+
+Timing here is *coarse*: we charge each dynamic instruction a base CPI
+and expose a fraction of each cache-miss latency, with the exposed
+fraction depending on how aggressively the modeled machine overlaps
+misses.  Chunked execution (BulkSC) and the RC baseline overlap
+aggressively; SC exposes most of a load miss; PC/TSO sits in between.
+This reproduces the paper's *relative* performance structure (RC >
+DeLorean modes > SC) without pretending to cycle accuracy -- see
+DESIGN.md for the substitution argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chunks.signature import SignatureConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Instruction and memory-latency cost model.
+
+    ``*_exposure`` factors are the fraction of a miss latency that the
+    pipeline cannot hide under each execution model.  They are the main
+    calibration knobs for the Figure 10/11 shapes.
+    """
+
+    base_cpi: float = 0.5          # 6-fetch/4-issue core, Table 5
+    l1_hit_cycles: int = 2
+    l2_hit_cycles: int = 13
+    memory_cycles: int = 300
+    # Exposed fraction of miss latency per execution model.
+    chunk_load_exposure: float = 0.30   # BulkSC/DeLorean: full reordering
+    rc_load_exposure: float = 0.30      # RC: equally aggressive
+    rc_store_exposure: float = 0.0      # RC: store buffer hides stores
+    sc_load_exposure: float = 0.37      # aggressive SC: speculative loads
+    sc_store_exposure: float = 0.06     # exclusive prefetching for stores
+    pc_load_exposure: float = 0.345     # PC/TSO estimate (Advanced RTR)
+    pc_store_exposure: float = 0.02
+    squash_flush_cycles: int = 20       # pipeline flush on chunk squash
+
+    def instruction_cycles(self, instructions: int) -> float:
+        """Base (non-memory) cost of a block of instructions."""
+        return instructions * self.base_cpi
+
+    def miss_latency(self, level: str) -> int:
+        """Round-trip latency for a miss served at ``level``."""
+        if level == "l1":
+            return self.l1_hit_cycles
+        if level == "l2":
+            return self.l2_hit_cycles
+        if level == "memory":
+            return self.memory_cycles
+        raise ConfigurationError(f"unknown memory level {level!r}")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full configuration of the simulated CMP (Table 5 defaults)."""
+
+    num_processors: int = 8
+    line_words: int = 8                # 32 B lines of 4 B words
+    l1_sets: int = 128                 # 32 KB / 4-way / 32 B lines
+    l1_ways: int = 4
+    l2_lines: int = 65536              # 8 MB L2 as a line-capacity filter
+    standard_chunk_size: int = 2000
+    simultaneous_chunks: int = 2
+    max_concurrent_commits: int = 4
+    arbitration_roundtrip: int = 30    # request+grant, record mode
+    commit_propagation_cycles: int = 220
+    replay_arbitration_roundtrip: int = 50  # replay penalty (Section 6.2.1)
+    token_hop_cycles: int = 130         # PicoLog commit-token hop latency
+    squash_retry_limit: int = 8        # squashes before size reduction
+    signature: SignatureConfig = field(default_factory=SignatureConfig)
+    timing: TimingModel = field(default_factory=TimingModel)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ConfigurationError("need at least one processor")
+        if self.num_processors > 64:
+            raise ConfigurationError(
+                "configurations beyond 64 processors are not supported")
+        if self.line_words < 1 or self.line_words & (self.line_words - 1):
+            raise ConfigurationError("line_words must be a power of two")
+        if self.standard_chunk_size < 8:
+            raise ConfigurationError("chunks must hold at least 8 "
+                                     "instructions")
+        if self.simultaneous_chunks < 1:
+            raise ConfigurationError("need at least one chunk per "
+                                     "processor")
+        if self.max_concurrent_commits < 1:
+            raise ConfigurationError("need at least one commit slot")
+
+    @property
+    def line_shift(self) -> int:
+        """log2(line_words): word address -> line address shift."""
+        return self.line_words.bit_length() - 1
+
+    def line_of(self, word_address: int) -> int:
+        """Cache-line address of a word address."""
+        return word_address >> self.line_shift
+
+    @property
+    def dma_proc_id(self) -> int:
+        """procID used by the DMA engine in the PI log (Section 3.3)."""
+        return self.num_processors
+
+    @property
+    def pi_entry_bits(self) -> int:
+        """Width of a PI log entry: enough for all procIDs + DMA.
+
+        4 bits for up to 15 processors (Table 5's configuration); wider
+        only for the 16-processor sweeps of Figure 12.
+        """
+        return max(4, self.num_processors.bit_length())

@@ -1,0 +1,59 @@
+"""Commercial-workload stand-ins: SPECjbb2000 and SPECweb2005.
+
+The paper runs these under a full-system simulator, so -- unlike the
+SPLASH-2 codes -- they include *system references*: interrupts, DMA
+traffic and I/O operations (Section 5).  The presets therefore turn on
+the input-event knobs that the SPLASH-2 presets leave at zero, which is
+what exercises DeLorean's Interrupt/IO/DMA logs and the DMA arbitration
+path.
+
+* ``sjbb2k`` models 8 warehouses: mostly-partitioned object updates
+  with a shared statistics area, moderate locking, timer interrupts and
+  a steady trickle of DMA.
+* ``sweb2005`` models the e-commerce mix: higher I/O and interrupt
+  rates (network RX), hotter shared session state.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.machine.program import Program
+from repro.workloads.synthetic import SyntheticSpec, build_program
+
+COMMERCIAL_APPS: dict[str, SyntheticSpec] = {
+    "sjbb2k": SyntheticSpec(
+        name="sjbb2k", work_items=700, sharing_fraction=0.20,
+        hot_fraction=0.03, remote_read_fraction=0.20,
+        shared_lines=12288, lock_count=32, lock_probability=0.004,
+        critical_accesses=4, write_fraction=0.40,
+        io_rate=0.004, special_rate=0.002, trap_rate=0.01,
+        interrupts_per_thousand_items=6.0, interrupt_handler_ops=96,
+        dma_bursts=6, dma_words_per_burst=16),
+    "sweb2005": SyntheticSpec(
+        name="sweb2005", work_items=700, sharing_fraction=0.26,
+        hot_fraction=0.012, remote_read_fraction=0.25,
+        shared_lines=8192, lock_count=24, lock_probability=0.004,
+        hot_lock_fraction=0.1, critical_accesses=4, write_fraction=0.35,
+        io_rate=0.010, special_rate=0.003, trap_rate=0.015,
+        interrupts_per_thousand_items=10.0, interrupt_handler_ops=128,
+        dma_bursts=10, dma_words_per_burst=24),
+}
+
+
+def commercial_spec(app: str, scale: float = 1.0, seed: int = 1,
+                    num_threads: int = 8) -> SyntheticSpec:
+    """The (possibly rescaled) spec for a commercial workload."""
+    if app not in COMMERCIAL_APPS:
+        raise ConfigurationError(
+            f"unknown commercial app {app!r}; choose from "
+            f"{sorted(COMMERCIAL_APPS)}")
+    spec = COMMERCIAL_APPS[app].scaled(scale).with_seed(seed)
+    if num_threads != spec.num_threads:
+        spec = spec.with_threads(num_threads)
+    return spec
+
+
+def commercial_program(app: str, scale: float = 1.0, seed: int = 1,
+                       num_threads: int = 8) -> Program:
+    """A ready-to-run commercial-workload stand-in program."""
+    return build_program(commercial_spec(app, scale, seed, num_threads))

@@ -1,0 +1,120 @@
+"""SPLASH-2 stand-in presets.
+
+The paper runs every SPLASH-2 application except Volrend, "without
+system references" (Section 5) -- so these presets have no interrupts,
+DMA or I/O.  Each preset encodes the qualitative sharing behaviour the
+SPLASH-2 characterization literature reports for that application, which
+is what drives DeLorean's logs and performance:
+
+============  =============================================================
+barnes        octree updates under many fine-grain locks, moderate sharing
+cholesky      task-queue (lock) driven, irregular sharing
+fft           all-to-all transpose phases separated by barriers
+fmm           tree + list traversal, moderate locking, mild imbalance
+lu            blocked factorization, barrier phases, producer-consumer
+ocean         nearest-neighbour grids, barrier-heavy, low conflict
+radiosity     task stealing with a hot queue lock, irregular
+radix         permutation phase with heavy all-to-all writes + barriers
+raytrace      work stealing with a hot lock and strong load imbalance
+water-ns      mostly-private molecule updates, light locking
+water-sp      like water-ns with sparser sharing
+============  =============================================================
+
+Calibration note: in a chunk-based machine *any* two concurrently
+in-flight chunks that take the same lock conflict (both write the lock
+line), so per-chunk lock-acquire counts here are kept well below one --
+matching real SPLASH-2 codes, where critical sections are thousands of
+instructions apart.  ``radix`` (all-to-all permutation writes) and
+``raytrace`` (hot work-stealing lock plus load imbalance) are
+deliberately the conflict-heavy outliers the paper's Table 6 singles
+out.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.machine.program import Program
+from repro.workloads.synthetic import SyntheticSpec, build_program
+
+_BASE_ITEMS = 700
+
+SPLASH2_APPS: dict[str, SyntheticSpec] = {
+    "barnes": SyntheticSpec(
+        name="barnes", work_items=_BASE_ITEMS, sharing_fraction=0.25,
+        hot_fraction=0.01, remote_read_fraction=0.30,
+        shared_lines=8192, lock_count=64, lock_probability=0.006,
+        critical_accesses=3, write_fraction=0.35),
+    "cholesky": SyntheticSpec(
+        name="cholesky", work_items=_BASE_ITEMS, sharing_fraction=0.30,
+        hot_fraction=0.008, remote_read_fraction=0.30,
+        shared_lines=8192, lock_count=32, lock_probability=0.004,
+        hot_lock_fraction=0.1, critical_accesses=4, write_fraction=0.40),
+    "fft": SyntheticSpec(
+        name="fft", work_items=_BASE_ITEMS, sharing_fraction=0.30,
+        hot_fraction=0.008, remote_read_fraction=0.35,
+        shared_lines=16384, lock_count=64, lock_probability=0.002,
+        barrier_every=600, write_fraction=0.45, compute_per_item=30),
+    "fmm": SyntheticSpec(
+        name="fmm", work_items=_BASE_ITEMS, sharing_fraction=0.22,
+        hot_fraction=0.008, remote_read_fraction=0.30,
+        shared_lines=8192, lock_count=32, lock_probability=0.003,
+        write_fraction=0.30),
+    "lu": SyntheticSpec(
+        name="lu", work_items=_BASE_ITEMS, sharing_fraction=0.28,
+        hot_fraction=0.005, remote_read_fraction=0.25,
+        shared_lines=16384, lock_count=64, lock_probability=0.002,
+        barrier_every=600, write_fraction=0.40, compute_per_item=32),
+    "ocean": SyntheticSpec(
+        name="ocean", work_items=_BASE_ITEMS, sharing_fraction=0.15,
+        hot_fraction=0.005, remote_read_fraction=0.35,
+        shared_lines=16384, lock_count=64, lock_probability=0.002,
+        barrier_every=600, write_fraction=0.45, compute_per_item=28),
+    "radiosity": SyntheticSpec(
+        name="radiosity", work_items=_BASE_ITEMS, sharing_fraction=0.30,
+        hot_fraction=0.010, remote_read_fraction=0.25,
+        shared_lines=8192, lock_count=32, lock_probability=0.004,
+        hot_lock_fraction=0.12, critical_accesses=3,
+        write_fraction=0.35),
+    "radix": SyntheticSpec(
+        name="radix", work_items=_BASE_ITEMS, sharing_fraction=0.40,
+        hot_fraction=0.01, remote_read_fraction=0.10,
+        remote_write_fraction=0.06,
+        shared_lines=8192, lock_count=64, lock_probability=0.002,
+        barrier_every=600, write_fraction=0.65,
+        shared_accesses_per_item=3, compute_per_item=18),
+    "raytrace": SyntheticSpec(
+        name="raytrace", work_items=_BASE_ITEMS, sharing_fraction=0.30,
+        hot_fraction=0.012, remote_read_fraction=0.20,
+        shared_lines=6144, lock_count=16, lock_probability=0.005,
+        hot_lock_fraction=0.15, critical_accesses=4,
+        imbalance=0.8, write_fraction=0.35),
+    "water-ns": SyntheticSpec(
+        name="water-ns", work_items=_BASE_ITEMS, sharing_fraction=0.15,
+        hot_fraction=0.008, remote_read_fraction=0.30,
+        shared_lines=8192, lock_count=64, lock_probability=0.003,
+        write_fraction=0.30, compute_per_item=34),
+    "water-sp": SyntheticSpec(
+        name="water-sp", work_items=_BASE_ITEMS, sharing_fraction=0.12,
+        hot_fraction=0.005, remote_read_fraction=0.35,
+        shared_lines=8192, lock_count=64, lock_probability=0.002,
+        write_fraction=0.30, compute_per_item=34),
+}
+
+
+def splash2_spec(app: str, scale: float = 1.0, seed: int = 1,
+                 num_threads: int = 8) -> SyntheticSpec:
+    """The (possibly rescaled) spec for a SPLASH-2 application."""
+    if app not in SPLASH2_APPS:
+        raise ConfigurationError(
+            f"unknown SPLASH-2 app {app!r}; choose from "
+            f"{sorted(SPLASH2_APPS)}")
+    spec = SPLASH2_APPS[app].scaled(scale).with_seed(seed)
+    if num_threads != spec.num_threads:
+        spec = spec.with_threads(num_threads)
+    return spec
+
+
+def splash2_program(app: str, scale: float = 1.0, seed: int = 1,
+                    num_threads: int = 8) -> Program:
+    """A ready-to-run SPLASH-2 stand-in program."""
+    return build_program(splash2_spec(app, scale, seed, num_threads))

@@ -1,0 +1,100 @@
+"""Determinism-stress workloads (in the spirit of the `racey` kernel).
+
+Record/replay papers validate determinism with programs whose final
+state is maximally sensitive to the memory interleaving: every
+reordered pair of accesses avalanche into a different final value.
+These generators produce such programs for this simulator:
+
+* :func:`racey_program` -- every thread repeatedly reads two cells of a
+  small shared array, mixes them through the accumulator, and writes
+  the result back to a pseudo-random cell.  Any change in interleaving
+  changes the array forever after (the classic `racey` signature
+  computation).
+* :func:`handoff_program` -- threads pass a token value around a ring
+  of mailboxes with data-dependent spinning, maximizing cross-thread
+  RAW chains.
+
+Used by the failure-injection tests: if any single log entry is
+corrupted, replaying one of these must diverge *detectably*.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.machine.program import Op, OpKind, Program
+from repro.workloads.program_builder import shared_address
+
+#: Cells of the racey signature array (small: collisions are the goal).
+RACEY_CELLS = 8
+
+
+def racey_cell(index: int) -> int:
+    """Word address of signature-array cell ``index`` (own line each,
+    so conflicts are true data conflicts, not false sharing)."""
+    return shared_address(index * 8)
+
+
+def racey_program(threads: int = 4, rounds: int = 60,
+                  seed: int = 1) -> Program:
+    """The interleaving-signature kernel.
+
+    Each round: load cell A, compute (folds the value into the
+    accumulator), load cell B, compute, store the accumulator to cell
+    C.  A, B, C walk pseudo-random (per-thread deterministic)
+    sequences, so every pair of threads keeps colliding and the final
+    array is a hash of the exact global interleaving.
+    """
+    rng = random.Random(seed)
+    thread_ops: list[list[Op]] = []
+    for thread in range(threads):
+        ops: list[Op] = []
+        thread_rng = random.Random(rng.randrange(1 << 30) + thread)
+        for _ in range(rounds):
+            first = thread_rng.randrange(RACEY_CELLS)
+            second = thread_rng.randrange(RACEY_CELLS)
+            target = thread_rng.randrange(RACEY_CELLS)
+            ops.append(Op(OpKind.LOAD, address=racey_cell(first)))
+            ops.append(Op(OpKind.COMPUTE, count=3))
+            ops.append(Op(OpKind.LOAD, address=racey_cell(second)))
+            ops.append(Op(OpKind.COMPUTE, count=3))
+            ops.append(Op(OpKind.STORE, address=racey_cell(target)))
+            ops.append(Op(OpKind.COMPUTE, count=20))
+        thread_ops.append(ops)
+    initial = {racey_cell(index): index + 1
+               for index in range(RACEY_CELLS)}
+    return Program(threads=thread_ops, name="racey",
+                   initial_memory=initial)
+
+
+def handoff_program(threads: int = 4, laps: int = 6) -> Program:
+    """A token circulates a ring: each thread waits for its gate lock
+    to open, folds the shared token through its accumulator, then opens
+    its successor's gate.
+
+    Gates are spin locks: thread ``i`` acquires its own gate (spinning
+    until the predecessor releases it) and releases gate ``i+1``.
+    Initially every gate is held except thread 0's, so the token makes
+    ``laps`` deterministic circuits -- but the *spin counts* along the
+    way are entirely interleaving-dependent, which is exactly what the
+    replay machinery must reproduce without logging them.
+    """
+    def gate(index: int) -> int:
+        return shared_address(0x1000 + index * 8)
+
+    token = shared_address(0x2000)
+    thread_ops: list[list[Op]] = []
+    for thread in range(threads):
+        ops: list[Op] = []
+        for _ in range(laps):
+            ops.append(Op(OpKind.LOCK, address=gate(thread)))
+            ops.append(Op(OpKind.LOAD, address=token))
+            ops.append(Op(OpKind.COMPUTE, count=15))
+            ops.append(Op(OpKind.STORE, address=token))
+            ops.append(Op(OpKind.UNLOCK,
+                          address=gate((thread + 1) % threads)))
+        thread_ops.append(ops)
+    initial = {gate(index): 1 for index in range(1, threads)}
+    initial[token] = 7
+    return Program(threads=thread_ops, name="handoff",
+                   initial_memory=initial)

@@ -1,0 +1,97 @@
+"""Tests for run statistics and report helpers."""
+
+import pytest
+
+from repro.analysis.report import format_table, geometric_mean
+from repro.analysis.stats import RunStats
+from repro.chunks.processor import ProcessorStats
+
+
+class TestRunStats:
+    def test_merge_processor_totals(self):
+        stats = RunStats()
+        stats.merge_processor(0, ProcessorStats(
+            chunks_committed=3, instructions_committed=100,
+            boundary_ops_committed=2, squashes=1,
+            squashed_instructions=50))
+        stats.merge_processor(1, ProcessorStats(
+            chunks_committed=2, instructions_committed=80))
+        assert stats.total_committed_chunks == 5
+        assert stats.total_committed_instructions == 182
+        assert stats.total_squashes == 1
+
+    def test_ipc(self):
+        stats = RunStats(cycles=100.0)
+        stats.merge_processor(0, ProcessorStats(
+            instructions_committed=250))
+        assert stats.ipc == pytest.approx(2.5)
+
+    def test_zero_cycles_safe(self):
+        assert RunStats().ipc == 0.0
+        assert RunStats().stall_fraction == 0.0
+
+    def test_squash_rate(self):
+        stats = RunStats()
+        stats.merge_processor(0, ProcessorStats(
+            chunks_committed=10, squashes=5))
+        assert stats.squash_rate == pytest.approx(0.5)
+
+    def test_wasted_fraction(self):
+        stats = RunStats()
+        stats.merge_processor(0, ProcessorStats(
+            instructions_committed=75, squashed_instructions=25))
+        assert stats.wasted_instruction_fraction == pytest.approx(0.25)
+
+    def test_speedup_over(self):
+        fast, slow = RunStats(cycles=50.0), RunStats(cycles=100.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+        assert slow.speedup_over(fast) == pytest.approx(0.5)
+
+    def test_stall_fraction_normalized_per_processor(self):
+        stats = RunStats(cycles=100.0)
+        stats.merge_processor(0, ProcessorStats(stall_cycles=30.0))
+        stats.merge_processor(1, ProcessorStats(stall_cycles=10.0))
+        assert stats.stall_fraction == pytest.approx(0.2)
+
+    def test_commit_parallelism_average(self):
+        stats = RunStats(commit_parallelism_samples=[1, 2, 3])
+        assert stats.avg_commit_parallelism == pytest.approx(2.0)
+
+    def test_ready_procs_average(self):
+        stats = RunStats(ready_procs_samples=[4, 6])
+        assert stats.avg_ready_procs == pytest.approx(5.0)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.0], ["long-name", 123.456]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "----" in lines[2]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [12.3], [1234.5]])
+        assert "0.123" in text
+        assert "12.30" in text
+        assert "1234" in text
+
+    def test_zero_renders_bare(self):
+        assert "0" in format_table(["v"], [[0.0]])

@@ -1,0 +1,113 @@
+"""Unit and property tests for bit-level packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.bitstream import BitReader, BitWriter
+from repro.errors import LogFormatError
+
+
+class TestBitWriter:
+    def test_empty_writer_has_zero_length(self):
+        assert BitWriter().bit_length == 0
+        assert BitWriter().to_bytes() == b""
+
+    def test_single_bit(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        assert writer.bit_length == 1
+        assert writer.to_bytes() == b"\x80"
+
+    def test_msb_first_packing(self):
+        writer = BitWriter()
+        writer.write(0b1010, 4)
+        writer.write(0b0101, 4)
+        assert writer.to_bytes() == bytes([0b10100101])
+
+    def test_field_spanning_bytes(self):
+        writer = BitWriter()
+        writer.write(0xABC, 12)
+        assert writer.bit_length == 12
+        data = writer.to_bytes()
+        assert data[0] == 0xAB
+        assert data[1] & 0xF0 == 0xC0
+
+    def test_value_too_large_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(LogFormatError):
+            writer.write(16, 4)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(LogFormatError):
+            BitWriter().write(-1, 4)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(LogFormatError):
+            BitWriter().write(0, 0)
+
+    def test_write_flag(self):
+        writer = BitWriter()
+        writer.write_flag(True)
+        writer.write_flag(False)
+        writer.write_flag(True)
+        reader = BitReader(writer.to_bytes(), writer.bit_length)
+        assert [reader.read_flag() for _ in range(3)] == [
+            True, False, True]
+
+
+class TestBitReader:
+    def test_read_past_end_rejected(self):
+        writer = BitWriter()
+        writer.write(3, 2)
+        reader = BitReader(writer.to_bytes(), writer.bit_length)
+        reader.read(2)
+        with pytest.raises(LogFormatError):
+            reader.read(1)
+
+    def test_declared_length_validated(self):
+        with pytest.raises(LogFormatError):
+            BitReader(b"\x00", 9)
+
+    def test_bits_remaining(self):
+        writer = BitWriter()
+        writer.write(0x1F, 5)
+        reader = BitReader(writer.to_bytes(), writer.bit_length)
+        assert reader.bits_remaining == 5
+        reader.read(3)
+        assert reader.bits_remaining == 2
+        assert not reader.at_end()
+        reader.read(2)
+        assert reader.at_end()
+
+    def test_wide_field(self):
+        writer = BitWriter()
+        value = (1 << 63) | 12345
+        writer.write(value, 64)
+        reader = BitReader(writer.to_bytes(), writer.bit_length)
+        assert reader.read(64) == value
+
+
+@given(st.lists(
+    st.integers(min_value=1, max_value=48).flatmap(
+        lambda width: st.tuples(
+            st.integers(min_value=0, max_value=(1 << width) - 1),
+            st.just(width))),
+    max_size=200))
+def test_roundtrip_identity(fields):
+    """Any sequence of (value, width) writes reads back identically."""
+    writer = BitWriter()
+    for value, width in fields:
+        writer.write(value, width)
+    reader = BitReader(writer.to_bytes(), writer.bit_length)
+    for value, width in fields:
+        assert reader.read(width) == value
+    assert reader.at_end() or reader.bits_remaining == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), max_size=64))
+def test_byte_stream_roundtrip(values):
+    """Byte-aligned packing is the identity on byte sequences."""
+    writer = BitWriter()
+    for value in values:
+        writer.write(value, 8)
+    assert writer.to_bytes() == bytes(values)

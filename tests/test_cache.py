@@ -1,0 +1,128 @@
+"""Tests for the L1/L2 cache models and overflow detection."""
+
+import pytest
+
+from repro.chunks.cache import CacheConfig, SharedL2Filter, SpeculativeCache
+from repro.errors import ConfigurationError
+
+
+class TestCacheConfig:
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(sets=100)
+
+    def test_single_way_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(ways=1)
+
+    def test_set_mapping(self):
+        config = CacheConfig(sets=8, ways=2)
+        assert config.set_of(0) == 0
+        assert config.set_of(8) == 0
+        assert config.set_of(9) == 1
+
+    def test_speculative_ways_use_full_associativity(self):
+        assert CacheConfig(sets=8, ways=4).speculative_ways == 4
+
+
+class TestL1Classification:
+    def test_first_access_misses(self):
+        cache = SpeculativeCache(CacheConfig(sets=4, ways=2))
+        assert cache.access(0) == "memory"
+
+    def test_second_access_hits(self):
+        cache = SpeculativeCache(CacheConfig(sets=4, ways=2))
+        cache.access(0)
+        assert cache.access(0) == "l1"
+
+    def test_lru_eviction(self):
+        cache = SpeculativeCache(CacheConfig(sets=4, ways=2))
+        cache.access(0)      # set 0
+        cache.access(4)      # set 0
+        cache.access(8)      # set 0 -> evicts line 0
+        assert cache.access(0) != "l1"
+
+    def test_lru_refresh_on_touch(self):
+        cache = SpeculativeCache(CacheConfig(sets=4, ways=2))
+        cache.access(0)
+        cache.access(4)
+        cache.access(0)      # refresh 0; 4 is now LRU
+        cache.access(8)      # evicts 4
+        assert cache.access(0) == "l1"
+
+    def test_l2_filter_serves_evicted_lines(self):
+        shared = SharedL2Filter(capacity_lines=64)
+        cache = SpeculativeCache(CacheConfig(sets=4, ways=2), shared)
+        cache.access(0)
+        cache.access(4)
+        cache.access(8)      # evicts 0 from L1; 0 still in L2
+        assert cache.access(0) == "l2"
+
+    def test_invalidate(self):
+        cache = SpeculativeCache(CacheConfig(sets=4, ways=2))
+        cache.access(3)
+        cache.invalidate(3)
+        assert cache.coherence_invalidations == 1
+        assert cache.access(3) != "l1"
+
+    def test_invalidate_absent_line_is_noop(self):
+        cache = SpeculativeCache(CacheConfig(sets=4, ways=2))
+        cache.invalidate(77)
+        assert cache.coherence_invalidations == 0
+
+    def test_stats_keys(self):
+        cache = SpeculativeCache(CacheConfig(sets=4, ways=2))
+        cache.access(1)
+        cache.access(1)
+        stats = cache.stats()
+        assert stats["l1_hits"] == 1
+        assert stats["memory_accesses"] == 1
+
+
+class TestSharedL2:
+    def test_capacity_bound(self):
+        shared = SharedL2Filter(capacity_lines=2)
+        shared.access(1)
+        shared.access(2)
+        shared.access(3)   # evicts 1
+        assert not shared.access(1)
+
+    def test_lru_refresh(self):
+        shared = SharedL2Filter(capacity_lines=2)
+        shared.access(1)
+        shared.access(2)
+        shared.access(1)
+        shared.access(3)   # evicts 2, not 1
+        assert shared.access(1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedL2Filter(capacity_lines=0)
+
+
+class TestOverflowDetection:
+    def test_no_overflow_below_capacity(self):
+        cache = SpeculativeCache(CacheConfig(sets=4, ways=4))
+        written = {0, 4, 8}       # three lines in set 0 (4 ways usable)
+        assert not cache.write_would_overflow(written, 12)
+
+    def test_overflow_at_set_capacity(self):
+        cache = SpeculativeCache(CacheConfig(sets=4, ways=4))
+        written = {0, 4, 8, 12}   # set 0 full of speculative lines
+        assert cache.write_would_overflow(written, 16)
+
+    def test_rewriting_existing_line_never_overflows(self):
+        cache = SpeculativeCache(CacheConfig(sets=4, ways=4))
+        written = {0, 4, 8, 12}
+        assert not cache.write_would_overflow(written, 4)
+
+    def test_other_sets_unaffected(self):
+        cache = SpeculativeCache(CacheConfig(sets=4, ways=4))
+        written = {0, 4, 8, 12}   # all in set 0
+        assert not cache.write_would_overflow(written, 1)  # set 1
+
+    def test_overflow_is_deterministic_in_footprint(self):
+        cache = SpeculativeCache(CacheConfig(sets=8, ways=4))
+        written = {0, 8, 16}
+        assert (cache.write_would_overflow(written, 24)
+                == cache.write_would_overflow(written, 24))

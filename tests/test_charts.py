@@ -1,0 +1,70 @@
+"""Tests for the terminal bar-chart renderer."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        text = bar_chart(["a", "b"], [1.0, 0.5], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.00" in lines[1]
+        assert "0.50" in lines[2]
+
+    def test_bar_lengths_proportional(self):
+        text = bar_chart(["big", "half"], [2.0, 1.0], width=40)
+        big, half = text.splitlines()
+        assert big.count("█") == 40
+        assert abs(half.count("█") - 20) <= 1
+
+    def test_zero_value_empty_bar(self):
+        text = bar_chart(["z"], [0.0])
+        assert "█" not in text
+
+    def test_reference_line(self):
+        text = bar_chart(["a"], [1.0], reference=2.0,
+                         reference_label="paper")
+        assert "paper" in text
+        assert "╌" in text
+        # Reference sets the scale: the value bar is half width.
+        value_line = text.splitlines()[0]
+        assert value_line.count("█") <= 21
+
+    def test_unit_suffix(self):
+        assert "3.00x" in bar_chart(["a"], [3.0], unit="x")
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_chart(self):
+        assert bar_chart([], []) == ""
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self):
+        text = grouped_bar_chart(
+            ["fft", "lu"],
+            {"RC": [1.0, 1.0], "SC": [0.8, 0.79]},
+            title="fig")
+        lines = text.splitlines()
+        assert lines[0] == "fig"
+        assert "fft:" in text and "lu:" in text
+        assert text.count("RC") == 2
+        assert "0.79" in text
+
+    def test_shared_scale_across_groups(self):
+        text = grouped_bar_chart(
+            ["g1", "g2"], {"s": [4.0, 1.0]}, width=32)
+        rows = [line for line in text.splitlines() if "█" in line or
+                ("s" in line and ":" not in line)]
+        long = rows[0].count("█")
+        short = rows[1].count("█")
+        assert long == 32
+        assert abs(short - 8) <= 1
+
+    def test_ragged_series_tolerated(self):
+        text = grouped_bar_chart(["a", "b"], {"x": [1.0]})
+        assert "b:" in text

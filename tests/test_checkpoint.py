@@ -1,0 +1,114 @@
+"""Tests for system checkpointing."""
+
+import pytest
+
+from conftest import counter_program, small_config
+
+from repro.core.modes import ExecutionMode, preferred_config
+from repro.errors import ConfigurationError
+from repro.machine.checkpoint import CheckpointStore, SystemCheckpoint
+from repro.machine.system import ChunkMachine
+
+
+def fresh_machine(program):
+    config = small_config()
+    mode = preferred_config(ExecutionMode.ORDER_ONLY).with_chunk_size(
+        config.standard_chunk_size)
+    return ChunkMachine(program, config, mode)
+
+
+class TestInitialCheckpoint:
+    def test_initial_matches_program(self):
+        program = counter_program(2, 5)
+        checkpoint = SystemCheckpoint.initial(program)
+        assert checkpoint.global_commit_count == 0
+        assert checkpoint.memory_image == program.initial_memory
+        assert set(checkpoint.thread_states) == {0, 1}
+
+    def test_empty_thread_marked_finished(self):
+        from repro.machine.program import Program, Op, OpKind
+        program = Program(threads=[[Op(OpKind.COMPUTE, count=1)], []])
+        checkpoint = SystemCheckpoint.initial(program)
+        assert not checkpoint.thread_states[0].finished
+        assert checkpoint.thread_states[1].finished
+
+
+class TestCaptureRestore:
+    def test_capture_after_run(self):
+        program = counter_program(2, 8)
+        machine = fresh_machine(program)
+        machine.run()
+        checkpoint = SystemCheckpoint.capture(machine, label="end")
+        assert checkpoint.global_commit_count > 0
+        assert checkpoint.matches_state(
+            machine.memory.snapshot(),
+            {p.proc_id: p.spec_state for p in machine.processors})
+
+    def test_capture_rejects_speculative_state(self):
+        program = counter_program(2, 8)
+        machine = fresh_machine(program)
+        machine.processors[0].build_chunk(
+            0.0, 16, memory=machine.memory)
+        with pytest.raises(ConfigurationError):
+            SystemCheckpoint.capture(machine)
+
+    def test_restore_into_fresh_machine(self):
+        program = counter_program(2, 8)
+        first = fresh_machine(program)
+        first.run()
+        checkpoint = SystemCheckpoint.capture(first)
+        second = fresh_machine(program)
+        checkpoint.restore_into(second)
+        assert second.memory.snapshot() == checkpoint.memory_image
+        for proc_id, state in checkpoint.thread_states.items():
+            assert (second.processors[proc_id].spec_state
+                    .architectural_key() == state.architectural_key())
+            assert (second.processors[proc_id].next_seq
+                    == checkpoint.committed_counts[proc_id] + 1)
+
+    def test_restore_rejects_used_machine(self):
+        program = counter_program(2, 8)
+        first = fresh_machine(program)
+        first.run()
+        checkpoint = SystemCheckpoint.capture(first)
+        with pytest.raises(ConfigurationError):
+            checkpoint.restore_into(first)
+
+    def test_matches_state_detects_differences(self):
+        program = counter_program(2, 5)
+        checkpoint = SystemCheckpoint.initial(program)
+        wrong = dict(program.initial_memory)
+        wrong[999999] = 1
+        assert not checkpoint.matches_state(
+            wrong, checkpoint.thread_states)
+
+
+class TestCheckpointStore:
+    def _checkpoint(self, gcc):
+        return SystemCheckpoint(
+            memory_image={}, thread_states={}, committed_counts={},
+            global_commit_count=gcc, label=f"gcc{gcc}")
+
+    def test_capacity_ring(self):
+        store = CheckpointStore(capacity=2)
+        for gcc in (1, 2, 3):
+            store.add(self._checkpoint(gcc))
+        assert len(store.checkpoints) == 2
+        assert store.latest().global_commit_count == 3
+
+    def test_before_commit_selects_newest_eligible(self):
+        store = CheckpointStore()
+        for gcc in (0, 10, 20):
+            store.add(self._checkpoint(gcc))
+        assert store.before_commit(15).global_commit_count == 10
+        assert store.before_commit(99).global_commit_count == 20
+
+    def test_before_commit_rejects_too_early(self):
+        store = CheckpointStore()
+        store.add(self._checkpoint(10))
+        with pytest.raises(ConfigurationError):
+            store.before_commit(5)
+
+    def test_latest_on_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore().latest()

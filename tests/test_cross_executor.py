@@ -1,0 +1,102 @@
+"""Cross-executor architectural equivalence.
+
+Three independent execution substrates interpret the same program
+model: the chunk machine (BulkSC semantics), the interleaved SC/PC/RC
+executor, and the store-buffer TSO executor.  For *data-race-free*
+programs (all shared accesses synchronized or atomic), every substrate
+must reach the same final memory -- the DRF guarantee.  These tests
+pin that equivalence, which protects against semantic drift between
+the three interpreters.
+"""
+
+import pytest
+
+from conftest import counter_program, small_config, two_phase_program
+
+from repro.baselines import ConsistencyModel, InterleavedExecutor
+from repro.baselines.tso import TSOExecutor
+from repro.core.delorean import DeLoreanSystem
+from repro.core.modes import ExecutionMode
+from repro.workloads.program_builder import ProgramBuilder, shared_address
+from repro.workloads.stress import handoff_program
+
+
+def chunk_machine_memory(program, mode=ExecutionMode.ORDER_ONLY):
+    config = small_config()
+    system = DeLoreanSystem(mode=mode, machine_config=config,
+                            chunk_size=config.standard_chunk_size)
+    return system.record(program).final_memory
+
+
+def interleaved_memory(program, model=ConsistencyModel.SC):
+    return InterleavedExecutor(program, small_config(),
+                               model).run().final_memory
+
+
+def tso_memory(program):
+    return TSOExecutor(program, small_config()).run().final_memory
+
+
+class TestDRFEquivalence:
+    def test_locked_counter_all_substrates(self):
+        expected = {shared_address(0): 4 * 12}
+        for memory in (
+                chunk_machine_memory(counter_program(4, 12)),
+                interleaved_memory(counter_program(4, 12)),
+                tso_memory(counter_program(4, 12))):
+            assert memory[shared_address(0)] == expected[
+                shared_address(0)]
+
+    def test_barrier_pipeline_all_substrates(self):
+        references = [
+            chunk_machine_memory(two_phase_program()),
+            interleaved_memory(two_phase_program()),
+            interleaved_memory(two_phase_program(),
+                               ConsistencyModel.RC),
+            tso_memory(two_phase_program()),
+        ]
+        out = shared_address(256)
+        for memory in references:
+            for index in range(8):
+                assert memory[out + index] == 100 + index
+
+    def test_lock_ring_token_all_substrates(self):
+        """The handoff kernel is fully synchronized: the token's final
+        value is substrate-independent."""
+        token = shared_address(0x2000)
+        values = {
+            "chunk": chunk_machine_memory(handoff_program(4, 4)),
+            "sc": interleaved_memory(handoff_program(4, 4)),
+            "tso": tso_memory(handoff_program(4, 4)),
+        }
+        reference = values["chunk"][token]
+        for name, memory in values.items():
+            assert memory[token] == reference, name
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_all_chunk_modes_agree(self, mode):
+        memory = chunk_machine_memory(counter_program(3, 10), mode)
+        assert memory[shared_address(0)] == 30
+
+
+class TestSingleThreadEquivalence:
+    """With one thread there is no interleaving freedom at all: every
+    substrate must produce identical memory, including derived
+    (accumulator-dependent) values."""
+
+    def _program(self):
+        builder = ProgramBuilder(1, name="single")
+        writer = builder.writer(0)
+        for index in range(20):
+            writer.load(shared_address(8 * index))
+            writer.compute(7 + index % 5)
+            writer.store(shared_address(8 * index + 1))
+            writer.rmw(shared_address(4096), 3)
+        return builder.build()
+
+    def test_exact_memory_equality(self):
+        chunk = chunk_machine_memory(self._program())
+        sc = interleaved_memory(self._program())
+        rc = interleaved_memory(self._program(), ConsistencyModel.RC)
+        tso = tso_memory(self._program())
+        assert chunk == sc == rc == tso

@@ -1,0 +1,129 @@
+"""Tests for the DeLoreanSystem public API and the replay source."""
+
+import pytest
+
+from conftest import counter_program, small_config
+
+from repro.core.delorean import DeLoreanSystem
+from repro.core.modes import ExecutionMode, preferred_config
+from repro.core.replayer import ReplayPerturbation, ReplaySource
+from repro.errors import ConfigurationError, ReplayDivergenceError
+
+
+class TestSystemConfiguration:
+    def test_defaults(self):
+        system = DeLoreanSystem()
+        assert system.mode is ExecutionMode.ORDER_ONLY
+        assert system.mode_config.standard_chunk_size == 2000
+
+    def test_mode_config_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeLoreanSystem(
+                mode=ExecutionMode.PICOLOG,
+                mode_config=preferred_config(ExecutionMode.ORDER_ONLY))
+
+    def test_chunk_size_override(self):
+        system = DeLoreanSystem(chunk_size=3000)
+        assert system.mode_config.standard_chunk_size == 3000
+        assert system.mode_config.cs_size_bits == 12
+
+    def test_stratify_flag(self):
+        system = DeLoreanSystem(stratify=True, chunks_per_stratum=3)
+        assert system.mode_config.stratify
+        assert system.mode_config.chunks_per_stratum == 3
+
+    def test_recording_carries_memory_ordering_log(self):
+        system = DeLoreanSystem(machine_config=small_config(),
+                                chunk_size=64)
+        recording = system.record(counter_program(2, 10))
+        assert recording.memory_ordering is not None
+        assert recording.log_bits_per_proc_per_kiloinst(False) > 0
+
+
+class TestReplaySourceCursors:
+    def _recording(self, mode=ExecutionMode.ORDER_ONLY):
+        system = DeLoreanSystem(mode=mode,
+                                machine_config=small_config(),
+                                chunk_size=64)
+        return system.record(counter_program(2, 10))
+
+    def test_chunk_target_defaults_to_standard(self):
+        source = ReplaySource(self._recording())
+        target, reason = source.chunk_target(0, 1)
+        assert target == 64
+
+    def test_io_underflow_raises(self):
+        source = ReplaySource(self._recording())
+        with pytest.raises(ReplayDivergenceError):
+            source.io_load(0, 0)
+
+    def test_dma_underflow_raises(self):
+        source = ReplaySource(self._recording())
+        with pytest.raises(ReplayDivergenceError):
+            source.next_dma_writes()
+
+    def test_maybe_interrupt_none_without_entries(self):
+        source = ReplaySource(self._recording())
+        assert source.maybe_interrupt(0, 1) is None
+        assert not source.has_pending_interrupts(0)
+
+    def test_verify_fully_consumed_clean(self):
+        source = ReplaySource(self._recording())
+        assert source.verify_fully_consumed() == []
+
+    def test_gate_for_only_in_picolog(self):
+        source = ReplaySource(self._recording())
+        assert source.gate_for(0, 0) is None
+
+
+class TestRecordingsAreSelfDescribing:
+    """A recording carries its own machine and mode configs, so replay
+    is immune to the replaying system's configuration (the CLI relies
+    on this: it rebuilds a system from the recording alone)."""
+
+    def _recording(self):
+        system = DeLoreanSystem(mode=ExecutionMode.ORDER_ONLY,
+                                machine_config=small_config(),
+                                chunk_size=64)
+        return system.record(counter_program(4, 12))
+
+    def test_replay_through_differently_sized_system(self):
+        recording = self._recording()
+        other = DeLoreanSystem(mode=ExecutionMode.ORDER_ONLY)
+        assert other.machine_config.num_processors != \
+            recording.machine_config.num_processors
+        result = other.replay(recording)
+        assert result.determinism.matches
+
+    def test_replay_through_other_mode_system(self):
+        recording = self._recording()
+        other = DeLoreanSystem(mode=ExecutionMode.PICOLOG)
+        result = other.replay(recording)
+        assert result.determinism.matches
+        # The replay honoured the recording's mode: a PicoLog replay
+        # would have run round-robin and tracked token statistics.
+        assert "token_roundtrip_cycles" not in result.stats.token_summary
+
+    def test_replay_through_other_chunk_size_system(self):
+        recording = self._recording()
+        other = DeLoreanSystem(chunk_size=3000)
+        result = other.replay(recording)
+        assert result.determinism.matches
+
+
+class TestPerturbationPresets:
+    def test_none_preset_is_quiet(self):
+        pert = ReplayPerturbation.none()
+        assert pert.commit_stall_probability == 0.0
+        assert pert.cache_flip_rate == 0.0
+        assert pert.chunk_validation_cycles == 0.0
+
+    def test_default_matches_paper_methodology(self):
+        """Section 6.2.1: 30% of commits stalled 10-300 cycles, 1.5%
+        cache flips, parallel commit disabled."""
+        pert = ReplayPerturbation()
+        assert pert.commit_stall_probability == pytest.approx(0.30)
+        assert pert.commit_stall_min_cycles == 10
+        assert pert.commit_stall_max_cycles == 300
+        assert pert.cache_flip_rate == pytest.approx(0.015)
+        assert pert.disable_parallel_commit

@@ -1,0 +1,120 @@
+"""Tests for the deterministic discrete-event engine."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.machine.engine import EventEngine
+
+
+class TestEventOrdering:
+    def test_time_order(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule(5, lambda: order.append("b"))
+        engine.schedule(1, lambda: order.append("a"))
+        engine.schedule(9, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule(3, lambda: order.append("low"), priority=1)
+        engine.schedule(3, lambda: order.append("high"), priority=0)
+        engine.run()
+        assert order == ["high", "low"]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        engine = EventEngine()
+        order = []
+        for index in range(5):
+            engine.schedule(1, lambda i=index: order.append(i))
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(4, lambda: seen.append(engine.now))
+        engine.schedule(10, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [4, 10]
+
+    def test_schedule_at_absolute(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(5, lambda: engine.schedule_at(
+            3, lambda: seen.append(engine.now)))
+        engine.run()
+        # schedule_at(3) from time 5 clamps to "now".
+        assert seen == [5]
+
+    def test_negative_delay_rejected(self):
+        engine = EventEngine()
+        with pytest.raises(ValueError):
+            engine.schedule(-1, lambda: None)
+
+
+class TestEngineBehaviour:
+    def test_events_can_spawn_events(self):
+        engine = EventEngine()
+        seen = []
+        def fire(depth):
+            seen.append(depth)
+            if depth < 3:
+                engine.schedule(1, lambda: fire(depth + 1))
+        engine.schedule(0, lambda: fire(0))
+        engine.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_max_events_guard(self):
+        engine = EventEngine()
+        def forever():
+            engine.schedule(1, forever)
+        engine.schedule(0, forever)
+        with pytest.raises(DeadlockError):
+            engine.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        engine = EventEngine()
+        for _ in range(7):
+            engine.schedule(1, lambda: None)
+        engine.run()
+        assert engine.events_processed == 7
+
+    def test_pending_count(self):
+        engine = EventEngine()
+        engine.schedule(1, lambda: None)
+        engine.schedule(2, lambda: None)
+        assert engine.pending() == 2
+        engine.run()
+        assert engine.pending() == 0
+
+
+class TestDeterminismAcrossRuns:
+    def test_identical_event_programs_identical_traces(self):
+        """Two engines fed the same schedule produce the same trace --
+        the reproducibility floor everything else stands on."""
+        def run_one():
+            engine = EventEngine()
+            trace = []
+            def spawn(depth, tag):
+                trace.append((engine.now, tag))
+                if depth:
+                    engine.schedule(depth, lambda: spawn(depth - 1,
+                                                         tag + 1))
+                    engine.schedule(depth / 2, lambda: spawn(0,
+                                                             tag + 100))
+            for index in range(5):
+                engine.schedule(index * 1.5, lambda i=index: spawn(3, i))
+            engine.run()
+            return trace
+        assert run_one() == run_one()
+
+    def test_float_time_ties_stable(self):
+        engine = EventEngine()
+        order = []
+        for index in range(20):
+            engine.schedule(0.1 + 0.2, lambda i=index: order.append(i))
+        engine.run()
+        assert order == list(range(20))

@@ -1,0 +1,125 @@
+"""Tests for the FDR baseline: dependence detection and Netzer TR."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.consistency import AccessRecord
+from repro.baselines.fdr import FDRRecorder, verify_reduction
+
+
+def trace_from(tuples) -> list[AccessRecord]:
+    """(proc, line, is_write) tuples -> a well-formed trace."""
+    records = []
+    counters = {}
+    for index, (proc, line, is_write) in enumerate(tuples):
+        instr = counters.get(proc, 0) + 1
+        counters[proc] = instr
+        records.append(AccessRecord(
+            index=index, processor=proc, line=line, is_write=is_write,
+            instruction=instr, operation=instr))
+    return records
+
+
+class TestDependenceDetection:
+    def test_raw_logged(self):
+        trace = trace_from([(0, 5, True), (1, 5, False)])
+        recorder = FDRRecorder(2)
+        recorder.process(trace)
+        assert len(recorder.dependences) == 1
+        dep = recorder.dependences[0]
+        assert (dep.src_proc, dep.dst_proc) == (0, 1)
+
+    def test_waw_logged(self):
+        recorder = FDRRecorder(2)
+        recorder.process(trace_from([(0, 5, True), (1, 5, True)]))
+        assert len(recorder.dependences) == 1
+
+    def test_war_logged(self):
+        recorder = FDRRecorder(2)
+        recorder.process(trace_from([(0, 5, False), (1, 5, True)]))
+        assert len(recorder.dependences) == 1
+
+    def test_war_can_be_ignored(self):
+        recorder = FDRRecorder(2, log_wars=False)
+        recorder.process(trace_from([(0, 5, False), (1, 5, True)]))
+        assert len(recorder.dependences) == 0
+
+    def test_same_proc_not_logged(self):
+        recorder = FDRRecorder(2)
+        recorder.process(trace_from([(0, 5, True), (0, 5, False)]))
+        assert recorder.raw_dependences == 0
+
+    def test_disjoint_lines_no_dependence(self):
+        recorder = FDRRecorder(2)
+        recorder.process(trace_from([(0, 1, True), (1, 2, True)]))
+        assert recorder.raw_dependences == 0
+
+
+class TestTransitiveReduction:
+    def test_figure_1a_case(self):
+        """The paper's Figure 1(a): 1:Wa 1:Wb 2:Wb 2:Ra -- the Wa->Ra
+        dependence is implied and must not be logged."""
+        trace = trace_from([
+            (0, 10, True),    # 1:Wa
+            (0, 11, True),    # 1:Wb
+            (1, 11, True),    # 2:Wb   (logged: Wb->Wb)
+            (1, 10, False),   # 2:Ra   (implied transitively)
+        ])
+        recorder = FDRRecorder(2)
+        recorder.process(trace)
+        assert recorder.raw_dependences == 2
+        assert len(recorder.dependences) == 1
+
+    def test_repeated_dependence_reduced(self):
+        trace = trace_from([
+            (0, 5, True), (1, 5, False),
+            (1, 6, True),  # keeps proc 1 moving
+            (1, 5, False),  # same source write: implied
+        ])
+        recorder = FDRRecorder(2)
+        recorder.process(trace)
+        assert len(recorder.dependences) == 1
+
+    def test_reduction_never_unsound(self):
+        trace = trace_from([
+            (0, 1, True), (1, 1, False), (1, 2, True),
+            (2, 2, False), (2, 1, False), (0, 2, True),
+        ])
+        recorder = FDRRecorder(3)
+        recorder.process(trace)
+        assert verify_reduction(trace, recorder.dependences)
+
+
+class TestSizeAccounting:
+    def test_encode_bits_match_entry_count(self):
+        recorder = FDRRecorder(2)
+        recorder.process(trace_from([(0, 5, True), (1, 5, False)]))
+        _, bits = recorder.encode()
+        assert bits == 48  # 4+4 proc + 20+20 delta bits
+
+    def test_compressed_not_larger(self):
+        recorder = FDRRecorder(4)
+        trace = trace_from([(i % 2, 5, i % 2 == 0) for i in range(100)])
+        recorder.process(trace)
+        assert recorder.compressed_size_bits() <= recorder.size_bits
+
+    def test_metric_zero_for_empty(self):
+        assert FDRRecorder(2).bits_per_proc_per_kiloinst(0) == 0.0
+
+
+_access = st.tuples(
+    st.integers(min_value=0, max_value=3),     # proc
+    st.integers(min_value=0, max_value=7),     # line
+    st.booleans(),                             # is_write
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(_access, max_size=120))
+def test_reduction_soundness_property(tuples):
+    """For arbitrary traces, the reduced log still orders every
+    conflicting pair (the paper's correctness requirement for TR)."""
+    trace = trace_from(tuples)
+    recorder = FDRRecorder(4)
+    recorder.process(trace)
+    assert verify_reduction(trace, recorder.dependences)
+    assert len(recorder.dependences) <= recorder.raw_dependences

@@ -1,0 +1,270 @@
+"""Tests for DeLorean's log structures and their bit formats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.logs import (
+    CSEntry,
+    ChunkSizeLog,
+    DMALog,
+    InterruptEntry,
+    InterruptLog,
+    IOLog,
+    MemoryOrderingLog,
+    PILog,
+)
+from repro.core.modes import ExecutionMode, preferred_config
+from repro.errors import LogFormatError
+
+
+class TestPILog:
+    def test_append_and_iterate(self):
+        log = PILog()
+        for proc in (0, 3, 8, 1):
+            log.append(proc)
+        assert list(log) == [0, 3, 8, 1]
+        assert len(log) == 4
+
+    def test_entry_width_enforced(self):
+        log = PILog(entry_bits=4)
+        with pytest.raises(LogFormatError):
+            log.append(16)
+
+    def test_size_accounting(self):
+        log = PILog(entry_bits=4)
+        for proc in range(10):
+            log.append(proc)
+        assert log.size_bits == 40
+
+    def test_encode_decode_roundtrip(self):
+        log = PILog()
+        for proc in (7, 0, 8, 8, 2):
+            log.append(proc)
+        payload, bits = log.encode()
+        decoded = PILog.decode(payload, bits)
+        assert decoded.entries == log.entries
+
+    def test_compression_helps_on_repetition(self):
+        log = PILog()
+        for _ in range(200):
+            for proc in range(4):
+                log.append(proc)
+        assert log.compressed_size_bits() < log.size_bits
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=300))
+    def test_roundtrip_property(self, procs):
+        log = PILog()
+        for proc in procs:
+            log.append(proc)
+        payload, bits = log.encode()
+        assert PILog.decode(payload, bits).entries == procs
+
+
+class TestCSLogOrderOnly:
+    def _log(self):
+        return ChunkSizeLog(preferred_config(ExecutionMode.ORDER_ONLY))
+
+    def test_untruncated_chunks_not_logged(self):
+        log = self._log()
+        for _ in range(5):
+            log.note_commit(2000, truncated=False)
+        assert len(log) == 0
+
+    def test_distance_counting(self):
+        log = self._log()
+        log.note_commit(2000, truncated=False)
+        log.note_commit(2000, truncated=False)
+        log.note_commit(731, truncated=True)
+        log.note_commit(2000, truncated=False)
+        log.note_commit(99, truncated=True)
+        assert log.entries == [CSEntry(2, 731), CSEntry(1, 99)]
+
+    def test_truncations_by_seq(self):
+        log = self._log()
+        log.note_commit(2000, False)
+        log.note_commit(500, True)     # seq 2
+        log.note_commit(2000, False)
+        log.note_commit(2000, False)
+        log.note_commit(77, True)      # seq 5
+        assert log.truncations_by_seq() == {2: 500, 5: 77}
+
+    def test_roundtrip(self):
+        log = self._log()
+        log.note_commit(2000, False)
+        log.note_commit(123, True)
+        log.note_commit(456, True)
+        payload, bits = log.encode()
+        decoded = ChunkSizeLog.decode(
+            payload, bits, preferred_config(ExecutionMode.ORDER_ONLY))
+        assert decoded.entries == log.entries
+
+    def test_huge_distance_uses_extension_entries(self):
+        config = preferred_config(ExecutionMode.ORDER_ONLY)
+        log = ChunkSizeLog(config)
+        huge = config.max_cs_distance + 10
+        log.entries.append(CSEntry(huge, 42))
+        payload, bits = log.encode()
+        decoded = ChunkSizeLog.decode(payload, bits, config)
+        assert decoded.entries == [CSEntry(huge, 42)]
+
+    def test_sizes_in_order_rejected(self):
+        with pytest.raises(LogFormatError):
+            self._log().sizes_in_order()
+
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=1, max_value=2000)),
+                    max_size=100))
+    def test_roundtrip_property(self, commits):
+        config = preferred_config(ExecutionMode.ORDER_ONLY)
+        log = ChunkSizeLog(config)
+        for truncated, size in commits:
+            log.note_commit(size, truncated)
+        payload, bits = log.encode()
+        decoded = ChunkSizeLog.decode(payload, bits, config)
+        assert decoded.entries == log.entries
+
+
+class TestCSLogOrderAndSize:
+    def _log(self):
+        return ChunkSizeLog(preferred_config(ExecutionMode.ORDER_AND_SIZE))
+
+    def test_every_chunk_logged(self):
+        log = self._log()
+        log.note_commit(2000, False)
+        log.note_commit(17, False)
+        assert len(log) == 2
+        assert log.sizes_in_order() == [2000, 17]
+
+    def test_max_size_entry_is_one_bit(self):
+        log = self._log()
+        log.note_commit(2000, False)   # standard size -> 1-bit entry
+        assert log.size_bits == 1
+
+    def test_small_entry_is_twelve_bits(self):
+        log = self._log()
+        log.note_commit(100, False)
+        assert log.size_bits == 12
+
+    def test_roundtrip_mixed(self):
+        config = preferred_config(ExecutionMode.ORDER_AND_SIZE)
+        log = ChunkSizeLog(config)
+        for size in (2000, 5, 2000, 1999, 64):
+            log.note_commit(size, False)
+        payload, bits = log.encode()
+        decoded = ChunkSizeLog.decode(payload, bits, config)
+        assert [e.size for e in decoded.entries] == [
+            2000, 5, 2000, 1999, 64]
+
+    def test_truncation_map_rejected(self):
+        with pytest.raises(LogFormatError):
+            self._log().truncations_by_seq()
+
+
+class TestInterruptLog:
+    def _entry(self, chunk_id, slot=0):
+        return InterruptEntry(chunk_id=chunk_id, vector=3, payload=99,
+                              handler_ops=64, high_priority=False,
+                              commit_slot=slot)
+
+    def test_monotonic_chunk_ids_enforced(self):
+        log = InterruptLog()
+        log.append(self._entry(5))
+        with pytest.raises(LogFormatError):
+            log.append(self._entry(5))
+
+    def test_roundtrip(self):
+        log = InterruptLog()
+        log.append(self._entry(1, slot=7))
+        log.append(InterruptEntry(9, 255, (1 << 64) - 1, 1000, True, 12))
+        payload, bits = log.encode()
+        decoded = InterruptLog.decode(payload, bits)
+        assert decoded.entries == log.entries
+
+
+class TestIOLog:
+    def test_roundtrip(self):
+        log = IOLog()
+        for value in (0, 1, (1 << 64) - 1, 42):
+            log.append(value)
+        payload, bits = log.encode()
+        assert IOLog.decode(payload, bits).values == log.values
+
+    def test_values_masked(self):
+        log = IOLog()
+        log.append(1 << 70)
+        assert log.values[0] < (1 << 64)
+
+
+class TestDMALog:
+    def test_roundtrip_with_slots(self):
+        log = DMALog()
+        log.append({10: 100, 11: 200}, commit_slot=3)
+        log.append({12: 300}, commit_slot=3)   # equal slots allowed
+        log.append({13: 1}, commit_slot=9)
+        payload, bits = log.encode()
+        decoded = DMALog.decode(payload, bits)
+        assert decoded.commit_slots == [3, 3, 9]
+        assert [dict(e.writes) for e in decoded.entries] == [
+            {10: 100, 11: 200}, {12: 300}, {13: 1}]
+
+    def test_decreasing_slots_rejected(self):
+        log = DMALog()
+        log.append({1: 1}, commit_slot=5)
+        with pytest.raises(LogFormatError):
+            log.append({2: 2}, commit_slot=4)
+
+    def test_roundtrip_without_slots(self):
+        log = DMALog()
+        log.append({7: 70})
+        payload, bits = log.encode()
+        decoded = DMALog.decode(payload, bits)
+        assert decoded.commit_slots == []
+        assert dict(decoded.entries[0].writes) == {7: 70}
+
+
+class TestMemoryOrderingLog:
+    def test_headline_metric(self):
+        """An OrderOnly machine committing 2000-instruction chunks with
+        4-bit PI entries pays 2 bits/proc/kiloinstruction (Section 6.1)."""
+        config = preferred_config(ExecutionMode.ORDER_ONLY)
+        pi = PILog(entry_bits=4)
+        commits = 100
+        for index in range(commits):
+            pi.append(index % 8)
+        log = MemoryOrderingLog(
+            pi_log=pi,
+            cs_logs={0: ChunkSizeLog(config)},
+            mode=ExecutionMode.ORDER_ONLY)
+        total_instructions = commits * 2000
+        assert log.bits_per_proc_per_kiloinst(
+            total_instructions, compressed=False) == pytest.approx(2.0)
+
+    def test_picolog_has_no_pi_contribution(self):
+        config = preferred_config(ExecutionMode.PICOLOG)
+        pi = PILog(entry_bits=4)
+        pi.append(1)  # even if appended, PicoLog reports zero
+        log = MemoryOrderingLog(
+            pi_log=pi,
+            cs_logs={0: ChunkSizeLog(config)},
+            mode=ExecutionMode.PICOLOG)
+        assert log.pi_size_bits() == 0
+
+    def test_zero_instructions_safe(self):
+        config = preferred_config(ExecutionMode.ORDER_ONLY)
+        log = MemoryOrderingLog(
+            pi_log=PILog(), cs_logs={0: ChunkSizeLog(config)},
+            mode=ExecutionMode.ORDER_ONLY)
+        assert log.bits_per_proc_per_kiloinst(0) == 0.0
+
+
+class TestZeroSizeCSEntryGuard:
+    """A zero-size CS entry would collide with the distance-extension
+    sentinel and silently vanish on decode (found by review fuzzing);
+    encoding one must fail loudly instead."""
+
+    def test_zero_size_entry_rejected_at_encode(self):
+        config = preferred_config(ExecutionMode.ORDER_ONLY)
+        log = ChunkSizeLog(config)
+        log.entries.append(CSEntry(distance=0, size=0))
+        with pytest.raises(LogFormatError):
+            log.encode()

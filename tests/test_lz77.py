@@ -1,0 +1,85 @@
+"""Unit and property tests for the LZ77 codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.lz77 import LZ77Codec, compressed_size_bits
+from repro.errors import LogFormatError
+
+
+class TestLZ77Roundtrip:
+    def test_empty(self):
+        codec = LZ77Codec()
+        payload, bits = codec.compress(b"")
+        assert codec.decompress(payload, bits) == b""
+
+    def test_short_literal_data(self):
+        codec = LZ77Codec()
+        data = b"abc"
+        payload, bits = codec.compress(data)
+        assert codec.decompress(payload, bits) == data
+
+    def test_repetitive_data_roundtrip(self):
+        codec = LZ77Codec()
+        data = b"abcabcabcabcabcabc" * 10
+        payload, bits = codec.compress(data)
+        assert codec.decompress(payload, bits) == data
+
+    def test_overlapping_match(self):
+        """Classic LZ77 self-referencing run (aaaa...)."""
+        codec = LZ77Codec()
+        data = b"a" * 300
+        payload, bits = codec.compress(data)
+        assert codec.decompress(payload, bits) == data
+
+    def test_binary_data(self):
+        codec = LZ77Codec()
+        data = bytes(range(256)) * 3
+        payload, bits = codec.compress(data)
+        assert codec.decompress(payload, bits) == data
+
+
+class TestCompressionBehaviour:
+    def test_repetitive_data_compresses(self):
+        data = b"\x11\x22\x33\x44" * 200
+        assert compressed_size_bits(data) < len(data) * 8 / 2
+
+    def test_incompressible_data_never_reported_larger(self):
+        import random
+        rng = random.Random(3)
+        data = bytes(rng.randrange(256) for _ in range(512))
+        assert compressed_size_bits(data) <= len(data) * 8
+
+    def test_empty_is_zero(self):
+        assert compressed_size_bits(b"") == 0
+
+    def test_window_bounds_validated(self):
+        with pytest.raises(LogFormatError):
+            LZ77Codec(window_bits=2)
+        with pytest.raises(LogFormatError):
+            LZ77Codec(length_bits=1)
+
+    def test_small_window_still_roundtrips(self):
+        codec = LZ77Codec(window_bits=4, length_bits=3)
+        data = b"xyzw" * 50
+        payload, bits = codec.compress(data)
+        assert codec.decompress(payload, bits) == data
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=600))
+def test_roundtrip_property(data):
+    """compress/decompress is the identity for arbitrary bytes."""
+    codec = LZ77Codec()
+    payload, bits = codec.compress(data)
+    assert codec.decompress(payload, bits) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=100), st.integers(min_value=2, max_value=12))
+def test_roundtrip_with_repeats(chunk, repeats):
+    """Highly repetitive inputs exercise the match path."""
+    codec = LZ77Codec()
+    data = chunk * repeats
+    payload, bits = codec.compress(data)
+    assert codec.decompress(payload, bits) == data

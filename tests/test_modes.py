@@ -1,0 +1,119 @@
+"""Tests for execution-mode configuration (Table 2 / Table 5)."""
+
+import pytest
+
+from repro.core.modes import ExecutionMode, ModeConfig, preferred_config
+from repro.errors import ConfigurationError
+
+
+class TestModeProperties:
+    def test_pi_log_presence(self):
+        assert ExecutionMode.ORDER_AND_SIZE.has_pi_log
+        assert ExecutionMode.ORDER_ONLY.has_pi_log
+        assert not ExecutionMode.PICOLOG.has_pi_log
+
+    def test_per_chunk_size_logging(self):
+        assert ExecutionMode.ORDER_AND_SIZE.logs_every_chunk_size
+        assert not ExecutionMode.ORDER_ONLY.logs_every_chunk_size
+        assert not ExecutionMode.PICOLOG.logs_every_chunk_size
+
+
+class TestPreferredConfigs:
+    def test_order_and_size_table5(self):
+        config = preferred_config(ExecutionMode.ORDER_AND_SIZE)
+        assert config.standard_chunk_size == 2000
+        assert config.variable_truncation_rate == 0.25
+        assert config.cs_size_bits == 11
+
+    def test_order_only_table5(self):
+        config = preferred_config(ExecutionMode.ORDER_ONLY)
+        assert config.standard_chunk_size == 2000
+        assert config.cs_distance_bits == 21
+        assert config.cs_size_bits == 11
+        assert config.cs_distance_bits + config.cs_size_bits == 32
+
+    def test_picolog_table5(self):
+        config = preferred_config(ExecutionMode.PICOLOG)
+        assert config.standard_chunk_size == 1000
+        assert config.cs_distance_bits == 22
+        assert config.cs_size_bits == 10
+        assert config.cs_distance_bits + config.cs_size_bits == 32
+
+
+class TestChunkSizeSweep:
+    def test_cs_entry_stays_32_bits(self):
+        """Section 5: sweeps keep the CS entry 32 bits wide."""
+        base = preferred_config(ExecutionMode.ORDER_ONLY)
+        for size in (500, 1000, 2000, 3000):
+            swept = base.with_chunk_size(size)
+            assert swept.cs_distance_bits + swept.cs_size_bits == 32
+            assert swept.max_cs_size >= size - 1
+
+    def test_sweep_preserves_mode(self):
+        swept = preferred_config(ExecutionMode.PICOLOG).with_chunk_size(
+            3000)
+        assert swept.mode is ExecutionMode.PICOLOG
+        assert swept.standard_chunk_size == 3000
+
+
+class TestStratification:
+    def test_with_stratification(self):
+        config = preferred_config(
+            ExecutionMode.ORDER_ONLY).with_stratification(3)
+        assert config.stratify
+        assert config.chunks_per_stratum == 3
+
+    def test_picolog_cannot_stratify(self):
+        with pytest.raises(ConfigurationError):
+            preferred_config(ExecutionMode.PICOLOG).with_stratification(1)
+
+
+class TestValidation:
+    def test_tiny_chunks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModeConfig(mode=ExecutionMode.ORDER_ONLY,
+                       standard_chunk_size=4)
+
+    def test_oversized_cs_entry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModeConfig(mode=ExecutionMode.ORDER_ONLY,
+                       standard_chunk_size=2000,
+                       cs_distance_bits=60, cs_size_bits=20)
+
+    def test_bad_truncation_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModeConfig(mode=ExecutionMode.ORDER_AND_SIZE,
+                       standard_chunk_size=2000,
+                       variable_truncation_rate=1.5)
+
+    def test_zero_chunks_per_stratum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModeConfig(mode=ExecutionMode.ORDER_ONLY,
+                       standard_chunk_size=2000, chunks_per_stratum=0)
+
+
+class TestSizeOnlyQuadrant:
+    """Table 2's fourth quadrant, implemented as SIZE_ONLY."""
+
+    def test_axis_properties(self):
+        mode = ExecutionMode.SIZE_ONLY
+        assert not mode.has_pi_log           # predefined order
+        assert mode.predefined_order
+        assert mode.logs_every_chunk_size    # non-deterministic chunking
+
+    def test_three_paper_modes_axes(self):
+        assert not ExecutionMode.ORDER_AND_SIZE.predefined_order
+        assert not ExecutionMode.ORDER_ONLY.predefined_order
+        assert ExecutionMode.PICOLOG.predefined_order
+        assert not ExecutionMode.ORDER_ONLY.logs_every_chunk_size
+        assert not ExecutionMode.PICOLOG.logs_every_chunk_size
+
+    def test_preferred_config(self):
+        config = preferred_config(ExecutionMode.SIZE_ONLY)
+        assert config.standard_chunk_size == 1000
+        assert config.variable_truncation_rate == 0.25
+
+    def test_cannot_stratify(self):
+        with pytest.raises(ConfigurationError):
+            preferred_config(
+                ExecutionMode.SIZE_ONLY).with_stratification(1)

@@ -1,0 +1,221 @@
+"""Whole-system property tests (hypothesis).
+
+The crown-jewel property is Appendix B's theorem: for *any* program and
+*any* replay-timing perturbation, replay reproduces the recorded
+execution exactly.  Programs here are generated structurally random --
+mixed compute/load/store/RMW/lock/barrier/IO traffic over a small hot
+address space to maximize interleaving sensitivity -- and each one is
+recorded once and replayed under perturbed timing.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from conftest import apply_fingerprint_writes, small_config
+
+from repro.core.delorean import DeLoreanSystem
+from repro.core.modes import ExecutionMode
+from repro.core.replayer import ReplayPerturbation
+from repro.machine.program import Op, OpKind, Program
+from repro.workloads.program_builder import lock_address, shared_address
+
+
+# A small, hot address space: collisions are likely, which is the point.
+_ADDRESSES = [shared_address(offset * 8) for offset in range(6)]
+_LOCKS = [lock_address(index) for index in range(2)]
+
+
+def _op_strategy():
+    return st.one_of(
+        st.builds(Op, st.just(OpKind.COMPUTE),
+                  count=st.integers(min_value=1, max_value=30)),
+        st.builds(Op, st.just(OpKind.LOAD),
+                  address=st.sampled_from(_ADDRESSES)),
+        st.builds(Op, st.just(OpKind.STORE),
+                  address=st.sampled_from(_ADDRESSES),
+                  value=st.one_of(st.none(),
+                                  st.integers(min_value=0,
+                                              max_value=1000))),
+        st.builds(Op, st.just(OpKind.RMW),
+                  address=st.sampled_from(_ADDRESSES),
+                  value=st.integers(min_value=1, max_value=5)),
+        st.builds(Op, st.just(OpKind.IO_LOAD),
+                  address=st.integers(min_value=0, max_value=3)),
+        st.builds(Op, st.just(OpKind.TRAP),
+                  count=st.integers(min_value=1, max_value=10)),
+    )
+
+
+def _critical_section():
+    return st.tuples(
+        st.sampled_from(_LOCKS),
+        st.lists(_op_strategy(), min_size=1, max_size=3),
+    ).map(lambda pair: [Op(OpKind.LOCK, address=pair[0]), *pair[1],
+                        Op(OpKind.UNLOCK, address=pair[0])])
+
+
+def _thread_strategy():
+    segment = st.one_of(
+        st.lists(_op_strategy(), min_size=1, max_size=4),
+        _critical_section(),
+    )
+    return st.lists(segment, min_size=1, max_size=6).map(
+        lambda segments: [op for segment in segments for op in segment])
+
+
+_programs = st.builds(
+    lambda threads: Program(threads=threads, name="hypothesis"),
+    st.lists(_thread_strategy(), min_size=2, max_size=3))
+
+_slow_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.data_too_large],
+)
+
+
+def run_roundtrip(program, mode, perturbation):
+    config = small_config()
+    system = DeLoreanSystem(mode=mode, machine_config=config,
+                            chunk_size=config.standard_chunk_size)
+    recording = system.record(program)
+    result = system.replay(recording, perturbation=perturbation)
+    return recording, result
+
+
+@_slow_settings
+@given(program=_programs, seed=st.integers(min_value=0, max_value=9999))
+def test_order_only_replay_deterministic(program, seed):
+    recording, result = run_roundtrip(
+        program, ExecutionMode.ORDER_ONLY,
+        ReplayPerturbation(seed=seed))
+    assert result.determinism.matches, result.determinism.summary()
+
+
+@_slow_settings
+@given(program=_programs, seed=st.integers(min_value=0, max_value=9999))
+def test_picolog_replay_deterministic(program, seed):
+    recording, result = run_roundtrip(
+        program, ExecutionMode.PICOLOG, ReplayPerturbation(seed=seed))
+    assert result.determinism.matches, result.determinism.summary()
+
+
+@_slow_settings
+@given(program=_programs, seed=st.integers(min_value=0, max_value=9999))
+def test_order_and_size_replay_deterministic(program, seed):
+    recording, result = run_roundtrip(
+        program, ExecutionMode.ORDER_AND_SIZE,
+        ReplayPerturbation(seed=seed))
+    assert result.determinism.matches, result.determinism.summary()
+
+
+@_slow_settings
+@given(program=_programs)
+def test_recording_is_serializable(program):
+    """Final memory always equals the commit-ordered application of the
+    committed chunks' write sets (atomicity/serializability)."""
+    config = small_config()
+    system = DeLoreanSystem(machine_config=config,
+                            chunk_size=config.standard_chunk_size)
+    recording = system.record(program)
+    rebuilt = apply_fingerprint_writes(program.initial_memory,
+                                       recording.fingerprints)
+    assert rebuilt == recording.final_memory
+
+
+@_slow_settings
+@given(program=_programs,
+       chunks_per_stratum=st.sampled_from([1, 3, 7]),
+       seed=st.integers(min_value=0, max_value=999))
+def test_stratified_replay_deterministic(program, chunks_per_stratum,
+                                         seed):
+    config = small_config()
+    system = DeLoreanSystem(
+        mode=ExecutionMode.ORDER_ONLY, machine_config=config,
+        chunk_size=config.standard_chunk_size, stratify=True,
+        chunks_per_stratum=chunks_per_stratum)
+    recording = system.record(program)
+    result = system.replay(recording, use_strata=True,
+                           perturbation=ReplayPerturbation(seed=seed))
+    assert result.determinism.matches, result.determinism.summary()
+
+
+@_slow_settings
+@given(threads=st.integers(min_value=2, max_value=4),
+       increments=st.integers(min_value=1, max_value=12),
+       mode=st.sampled_from(list(ExecutionMode)))
+def test_mutual_exclusion_holds(threads, increments, mode):
+    """Lock-protected counters are always exact in every mode."""
+    from conftest import counter_program
+    config = small_config()
+    system = DeLoreanSystem(mode=mode, machine_config=config,
+                            chunk_size=config.standard_chunk_size)
+    recording = system.record(counter_program(threads, increments))
+    assert recording.final_memory[shared_address(0)] == (
+        threads * increments)
+
+
+@_slow_settings
+@given(program=_programs,
+       interval=st.integers(min_value=3, max_value=12),
+       seed=st.integers(min_value=0, max_value=999))
+def test_interval_replay_deterministic(program, interval, seed):
+    """Appendix B's actual theorem: I(n, m) replays deterministically
+    from any commit-boundary checkpoint, for arbitrary programs."""
+    config = small_config()
+    system = DeLoreanSystem(mode=ExecutionMode.ORDER_ONLY,
+                            machine_config=config,
+                            chunk_size=config.standard_chunk_size)
+    recording = system.record(program, checkpoint_every=interval)
+    for checkpoint in recording.interval_checkpoints:
+        result = system.replay_interval(
+            recording, checkpoint=checkpoint,
+            perturbation=ReplayPerturbation(seed=seed))
+        assert result.determinism.matches, (
+            checkpoint.commit_index, result.determinism.summary())
+
+
+@_slow_settings
+@given(program=_programs, seed=st.integers(min_value=0, max_value=999))
+def test_serialization_roundtrip_replays(program, seed):
+    """Any recording survives the binary wire format and still
+    replays deterministically afterwards."""
+    from repro.core.serialization import load_recording, save_recording
+    config = small_config()
+    system = DeLoreanSystem(machine_config=config,
+                            chunk_size=config.standard_chunk_size)
+    recording = system.record(program)
+    loaded = load_recording(save_recording(recording))
+    result = system.replay(loaded,
+                           perturbation=ReplayPerturbation(seed=seed))
+    assert result.determinism.matches, result.determinism.summary()
+
+
+@_slow_settings
+@given(threads=st.integers(min_value=2, max_value=4),
+       phases=st.integers(min_value=1, max_value=4),
+       work=st.integers(min_value=5, max_value=40),
+       mode=st.sampled_from(list(ExecutionMode)),
+       seed=st.integers(min_value=0, max_value=999))
+def test_barrier_phases_replay(threads, phases, work, mode, seed):
+    """Barrier-synchronized phase programs (every thread, same
+    barrier) record and replay deterministically in every mode."""
+    from repro.workloads.program_builder import (
+        ProgramBuilder, barrier_address)
+    builder = ProgramBuilder(threads, name="phases")
+    for thread in range(threads):
+        writer = builder.writer(thread)
+        for phase_index in range(phases):
+            writer.compute(work + thread)
+            writer.store(shared_address(512 + 8 * (
+                phase_index * threads + thread)))
+            writer.barrier(barrier_address(0), threads)
+            writer.load(shared_address(512 + 8 * (
+                phase_index * threads + (thread + 1) % threads)))
+    config = small_config()
+    system = DeLoreanSystem(mode=mode, machine_config=config,
+                            chunk_size=config.standard_chunk_size)
+    recording = system.record(builder.build())
+    result = system.replay(recording,
+                           perturbation=ReplayPerturbation(seed=seed))
+    assert result.determinism.matches, result.determinism.summary()

@@ -1,0 +1,220 @@
+"""Cross-writer contention mining (analysis.races)."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.races import (
+    DMA_WRITER,
+    ContendedLine,
+    RaceReport,
+    WriteEvent,
+    _closest_cross_pair,
+    find_contended_lines,
+    replay_window_for,
+)
+from repro.core.delorean import DeLoreanSystem
+from repro.core.modes import ExecutionMode
+from repro.workloads.program_builder import shared_address
+from repro.workloads.stress import racey_program
+
+from conftest import (
+    counter_program,
+    racy_increment_program,
+    small_config,
+    straight_line_program,
+)
+
+
+def _record(program, **kwargs):
+    system = DeLoreanSystem(mode=ExecutionMode.ORDER_ONLY,
+                            machine_config=small_config(), **kwargs)
+    return system, system.record(program)
+
+
+def _event(index, writer, value=1):
+    return WriteEvent(commit_index=index, writer=writer, value=value)
+
+
+class TestClosestCrossPair:
+    def test_single_writer_has_no_pair(self):
+        events = [_event(0, 1), _event(5, 1), _event(9, 1)]
+        assert _closest_cross_pair(events) is None
+
+    def test_two_writers_adjacent(self):
+        events = [_event(3, 0), _event(4, 1)]
+        distance, (first, second) = _closest_cross_pair(events)
+        assert distance == 1
+        assert (first.writer, second.writer) == (0, 1)
+
+    def test_minimum_over_many_pairs(self):
+        events = [_event(0, 0), _event(100, 1), _event(103, 0),
+                  _event(200, 2)]
+        distance, (first, second) = _closest_cross_pair(events)
+        assert distance == 3
+        assert (first.commit_index, second.commit_index) == (100, 103)
+
+    def test_same_writer_runs_do_not_count(self):
+        # Writer 0 writes densely; writer 1 appears once, far away.
+        events = [_event(i, 0) for i in range(10)]
+        events.append(_event(50, 1))
+        distance, _ = _closest_cross_pair(events)
+        assert distance == 41  # 50 - 9
+
+    def test_dma_counts_as_distinct_writer(self):
+        events = [_event(2, 0), _event(3, DMA_WRITER)]
+        distance, (_, second) = _closest_cross_pair(events)
+        assert distance == 1
+        assert second.writer == DMA_WRITER
+
+
+class TestClosestCrossPairProperty:
+    """Hypothesis: the linear scan equals the O(n^2) brute force."""
+
+    @staticmethod
+    def _brute_force(events):
+        best = None
+        for i, first in enumerate(events):
+            for second in events[i + 1:]:
+                if second.writer == first.writer:
+                    continue
+                distance = second.commit_index - first.commit_index
+                if best is None or distance < best:
+                    best = distance
+        return best
+
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=30),
+                              st.integers(min_value=0, max_value=4)),
+                    max_size=60))
+    def test_matches_brute_force(self, steps):
+        # Build strictly increasing commit indices from positive gaps.
+        events, index = [], 0
+        for gap, writer in steps:
+            index += gap
+            events.append(_event(index, writer))
+        expected = self._brute_force(events)
+        actual = _closest_cross_pair(events)
+        if expected is None:
+            assert actual is None
+        else:
+            distance, (first, second) = actual
+            assert distance == expected
+            assert first.writer != second.writer
+            assert second.commit_index - first.commit_index == distance
+
+
+class TestFindContendedLines:
+    def test_no_sharing_no_contention(self):
+        _, recording = _record(straight_line_program())
+        report = find_contended_lines(recording)
+        assert report.lines == []
+        assert report.total_lines_written > 0
+        assert "single agent" in report.summary()
+
+    def test_locked_counter_is_contended(self):
+        _, recording = _record(counter_program(threads=4,
+                                               increments=10))
+        report = find_contended_lines(recording)
+        addresses = {line.address for line in report.lines}
+        assert shared_address(0) in addresses
+        counter = next(line for line in report.lines
+                       if line.address == shared_address(0))
+        assert len(counter.writers) >= 2
+        # Every write event points at a real commit.
+        for event in counter.events:
+            assert 0 <= event.commit_index < report.total_commits
+
+    def test_racy_counter_has_tight_pairs(self):
+        _, recording = _record(racy_increment_program(threads=4,
+                                                      increments=30))
+        report = find_contended_lines(recording)
+        assert report.lines, "racy counter must show contention"
+        # Lines sort tightest-first.
+        distances = [line.min_distance for line in report.lines]
+        assert distances == sorted(distances)
+
+    def test_events_are_commit_ordered(self):
+        _, recording = _record(racey_program(threads=4, rounds=40,
+                                             seed=3))
+        report = find_contended_lines(recording)
+        for line in report.lines:
+            indices = [event.commit_index for event in line.events]
+            assert indices == sorted(indices)
+
+    def test_include_dma_toggle(self):
+        from repro.workloads.commercial import commercial_program
+        system = DeLoreanSystem(mode=ExecutionMode.ORDER_ONLY)
+        recording = system.record(
+            commercial_program("sjbb2k", scale=0.25, seed=2))
+        with_dma = find_contended_lines(recording, include_dma=True)
+        without = find_contended_lines(recording, include_dma=False)
+        dma_lines = [line for line in with_dma.lines
+                     if DMA_WRITER in line.writers]
+        clean = {line.address for line in without.lines}
+        # Lines contended *only* through DMA disappear when excluded.
+        for line in dma_lines:
+            cpu_writers = [w for w in line.writers if w != DMA_WRITER]
+            if len(cpu_writers) < 2:
+                assert line.address not in clean
+
+    def test_summary_formats_writers(self):
+        _, recording = _record(counter_program(threads=2,
+                                               increments=6))
+        report = find_contended_lines(recording)
+        text = report.summary(top=3)
+        assert "cpu" in text
+        assert "min distance" in text
+
+    def test_summary_truncation_note(self):
+        lines = [
+            ContendedLine(address=i, events=[_event(0, 0), _event(1, 1)],
+                          min_distance=1,
+                          closest_pair=(_event(0, 0), _event(1, 1)))
+            for i in range(12)]
+        report = RaceReport(lines=lines, total_commits=2,
+                            total_lines_written=12)
+        assert "more contended lines" in report.summary(top=5)
+        assert len(report.tight) == 12
+
+
+class TestReplayWindow:
+    def test_window_brackets_the_pair(self):
+        line = ContendedLine(
+            address=0x200000,
+            events=[_event(10, 0), _event(13, 1)],
+            min_distance=3,
+            closest_pair=(_event(10, 0), _event(13, 1)))
+        start, length = replay_window_for(line, margin=2)
+        assert start == 8
+        assert start + length - 1 == 15
+
+    def test_window_clamps_at_zero(self):
+        line = ContendedLine(
+            address=0x200000,
+            events=[_event(1, 0), _event(2, 1)],
+            min_distance=1,
+            closest_pair=(_event(1, 0), _event(2, 1)))
+        start, length = replay_window_for(line, margin=4)
+        assert start == 0
+        assert length == 7
+
+    def test_window_replays_deterministically(self):
+        system = DeLoreanSystem(mode=ExecutionMode.ORDER_ONLY,
+                                machine_config=small_config(),
+                                chunk_size=64)
+        recording = system.record(
+            racy_increment_program(threads=4, increments=120),
+            checkpoint_every=5)
+        report = find_contended_lines(recording)
+        assert report.lines
+        store = recording.interval_checkpoints
+        start, length = replay_window_for(report.lines[0])
+        end = start + length - 1
+        if store.checkpoints[0].commit_index <= start:
+            checkpoint = store.at_or_before(start)
+            result = system.replay_interval(
+                recording, checkpoint=checkpoint,
+                length=end - checkpoint.commit_index + 1)
+        else:
+            result = system.replay(recording)
+        assert result.determinism.matches

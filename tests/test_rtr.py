@@ -1,0 +1,104 @@
+"""Tests for the Basic RTR baseline: regulation and compaction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.fdr import FDRRecorder, verify_reduction
+from repro.baselines.rtr import RTRRecorder
+from test_fdr import trace_from
+
+
+class TestRegulation:
+    def test_regulated_source_never_exceeds_progress(self):
+        trace = trace_from([(0, 5, True), (1, 5, False)])
+        recorder = RTRRecorder(2, regulation_stride=1000)
+        recorder.process(trace)
+        dep = recorder.dependences[0]
+        assert dep.src_instr <= 1  # proc 0 only retired 1 instruction
+
+    def test_regulation_reduces_entries(self):
+        """Figure 1(b): stricter artificial dependences let TR remove
+        subsequent real ones."""
+        tuples = []
+        for round_index in range(20):
+            tuples.append((0, round_index % 4, True))
+            tuples.append((1, round_index % 4, False))
+            tuples.append((0, 100 + round_index, True))  # progress
+        trace = trace_from(tuples)
+        fdr = FDRRecorder(2)
+        fdr.process(trace)
+        rtr = RTRRecorder(2, regulation_stride=64)
+        rtr.process(trace)
+        assert len(rtr.dependences) < len(fdr.dependences)
+
+    def test_regulated_log_still_sound(self):
+        tuples = [(i % 3, (i * 7) % 5, i % 2 == 0) for i in range(80)]
+        trace = trace_from(tuples)
+        recorder = RTRRecorder(3, regulation_stride=8)
+        recorder.process(trace)
+        assert verify_reduction(trace, recorder.dependences)
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError):
+            RTRRecorder(2, regulation_stride=0)
+
+
+class TestVectorCompaction:
+    def test_strided_runs_collapse(self):
+        recorder = RTRRecorder(2, regulation_stride=1)
+        from repro.baselines.fdr import Dependence
+        # Hand-craft a perfectly strided dependence sequence.
+        recorder.dependences = [
+            Dependence(0, 10 * k, 1, 10 * k + 5) for k in range(1, 30)]
+        entries = recorder.compact()
+        assert len(entries) == 1
+        assert entries[0].count == 29
+
+    def test_irregular_runs_stay_separate(self):
+        recorder = RTRRecorder(2)
+        from repro.baselines.fdr import Dependence
+        recorder.dependences = [
+            Dependence(0, 10, 1, 20),
+            Dependence(0, 17, 1, 90),
+            Dependence(0, 300, 1, 91),
+        ]
+        entries = recorder.compact()
+        assert sum(e.count for e in entries) == 3
+
+    def test_compaction_encodes_and_shrinks(self):
+        recorder = RTRRecorder(2, regulation_stride=1)
+        from repro.baselines.fdr import Dependence
+        recorder.dependences = [
+            Dependence(0, 8 * k, 1, 8 * k + 3) for k in range(1, 100)]
+        _, bits = recorder.encode()
+        # One vector entry (~89 bits) vs 99 FDR entries (~4752 bits).
+        assert bits < 99 * 48
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=6),
+    st.booleans()), max_size=100))
+def test_rtr_soundness_property(tuples):
+    """Regulation must never invent an unenforceable ordering."""
+    trace = trace_from(tuples)
+    recorder = RTRRecorder(4, regulation_stride=16)
+    recorder.process(trace)
+    assert verify_reduction(trace, recorder.dependences)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=6),
+    st.booleans()), max_size=100))
+def test_rtr_no_more_entries_than_fdr(tuples):
+    """Regulation only strengthens sources; it can never need more log
+    entries than plain FDR."""
+    trace = trace_from(tuples)
+    fdr = FDRRecorder(4)
+    fdr.process(trace)
+    rtr = RTRRecorder(4, regulation_stride=16)
+    rtr.process(trace)
+    assert len(rtr.dependences) <= len(fdr.dependences)

@@ -1,0 +1,122 @@
+"""Tests for recording persistence (save/load round trips)."""
+
+import pytest
+
+from conftest import counter_program, small_config
+
+from repro.core.delorean import DeLoreanSystem
+from repro.core.modes import ExecutionMode
+from repro.core.replayer import ReplayPerturbation
+from repro.core.serialization import load_recording, save_recording
+from repro.errors import LogFormatError
+from repro.machine.events import DmaTransfer, InterruptEvent
+from repro.workloads.program_builder import shared_address
+
+
+def make_recording(mode=ExecutionMode.ORDER_ONLY, with_system=False,
+                   **kwargs):
+    config = small_config()
+    system = DeLoreanSystem(mode=mode, machine_config=config,
+                            chunk_size=config.standard_chunk_size,
+                            **kwargs)
+    program = counter_program(3, 12)
+    if with_system:
+        program.interrupts.append(InterruptEvent(
+            time=300.0, processor=1, vector=4, handler_ops=20))
+        program.dma_transfers.append(DmaTransfer(
+            time=200.0, writes={shared_address(900): 77}))
+    return system, system.record(program)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_logs_survive_round_trip(self, mode):
+        _, recording = make_recording(mode, with_system=True)
+        loaded = load_recording(save_recording(recording))
+        assert loaded.pi_log.entries == recording.pi_log.entries
+        for proc in recording.cs_logs:
+            assert (loaded.cs_logs[proc].entries
+                    == recording.cs_logs[proc].entries)
+            assert (loaded.interrupt_logs[proc].entries
+                    == recording.interrupt_logs[proc].entries)
+            assert (loaded.io_logs[proc].values
+                    == recording.io_logs[proc].values)
+        assert loaded.dma_log.entries == recording.dma_log.entries
+        assert (loaded.dma_log.commit_slots
+                == recording.dma_log.commit_slots)
+        assert loaded.final_memory == recording.final_memory
+        assert loaded.mode_config == recording.mode_config
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_loaded_recording_replays_deterministically(self, mode):
+        system, recording = make_recording(mode, with_system=True)
+        loaded = load_recording(save_recording(recording))
+        result = system.replay(loaded,
+                               perturbation=ReplayPerturbation(seed=7))
+        assert result.determinism.matches, result.determinism.summary()
+
+    def test_stratified_recording_round_trip(self):
+        system, recording = make_recording(stratify=True)
+        loaded = load_recording(save_recording(recording))
+        assert loaded.strata == recording.strata
+        assert loaded.stratified
+        result = system.replay(loaded, use_strata=True)
+        assert result.determinism.matches
+
+
+class TestFormatErrors:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(LogFormatError):
+            load_recording(b"NOPE" + b"\x00" * 32)
+
+    def test_truncated_blob_rejected(self):
+        _, recording = make_recording()
+        blob = save_recording(recording)
+        with pytest.raises((LogFormatError, Exception)):
+            load_recording(blob[: len(blob) // 2])
+
+    def test_bad_version_rejected(self):
+        _, recording = make_recording()
+        blob = bytearray(save_recording(recording))
+        blob[4] = 99
+        with pytest.raises(LogFormatError):
+            load_recording(bytes(blob))
+
+    def test_blob_is_compact(self):
+        """The wire format stores logs bit-packed, so the log sections
+        are a tiny fraction of the (pickled, verification-heavy)
+        trailer."""
+        _, recording = make_recording()
+        blob = save_recording(recording)
+        assert len(blob) > 0
+        # PI log bytes on the wire == ceil(entries * 4 / 8).
+        pi_bytes = (len(recording.pi_log) * 4 + 7) // 8
+        assert pi_bytes <= len(blob)
+
+
+class TestIntervalCheckpointPersistence:
+    def test_checkpoints_survive_round_trip_and_replay(self):
+        config = small_config()
+        system = DeLoreanSystem(machine_config=config,
+                                chunk_size=config.standard_chunk_size)
+        recording = system.record(counter_program(3, 20),
+                                  checkpoint_every=10)
+        loaded = load_recording(save_recording(recording))
+        assert len(loaded.interval_checkpoints) == len(
+            recording.interval_checkpoints)
+        checkpoint = loaded.interval_checkpoints.by_index(0)
+        result = system.replay_interval(loaded, checkpoint=checkpoint)
+        assert result.determinism.matches
+
+    def test_storage_sizing_survives_round_trip(self):
+        config = small_config()
+        system = DeLoreanSystem(machine_config=config,
+                                chunk_size=config.standard_chunk_size)
+        recording = system.record(counter_program(3, 20),
+                                  checkpoint_every=5)
+        loaded = load_recording(save_recording(recording))
+        original = recording.interval_checkpoints
+        assert loaded.interval_checkpoints.full_size_bits() == \
+            original.full_size_bits()
+        assert loaded.interval_checkpoints.delta_size_bits() == \
+            original.delta_size_bits()

@@ -1,0 +1,101 @@
+"""Tests for the Strata baseline recorder."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.strata import StrataRecorder
+from test_fdr import trace_from
+
+
+class TestStratumCreation:
+    def test_figure_1c_case(self):
+        """The paper's Figure 1(c): strata are logged right before the
+        second reference of each unseparated dependence."""
+        trace = trace_from([
+            (1, 2, True),    # 2:Wc
+            (0, 0, True),    # 1:Wa
+            (1, 0, False),   # 2:Ra  -> S0 logged before this
+            (2, 0, True),    # 3:Wa ... (already separated from 1:Wa? no)
+        ])
+        recorder = StrataRecorder(3)
+        recorder.process(trace)
+        recorder.finish()
+        assert len(recorder.strata) >= 2
+
+    def test_no_sharing_single_stratum(self):
+        trace = trace_from([(p, p, True) for p in range(4)] * 5)
+        recorder = StrataRecorder(4)
+        recorder.process(trace)
+        recorder.finish()
+        assert len(recorder.strata) == 1
+
+    def test_separated_dependence_needs_no_new_stratum(self):
+        trace = trace_from([
+            (0, 1, True),
+            (1, 1, False),   # stratum break here
+            (1, 1, False),   # source already separated: no new stratum
+        ])
+        recorder = StrataRecorder(2)
+        recorder.process(trace)
+        recorder.finish()
+        assert len(recorder.strata) == 2
+
+    def test_war_ignorable(self):
+        trace = trace_from([(0, 1, False), (1, 1, True)])
+        with_wars = StrataRecorder(2, log_wars=True)
+        with_wars.process(trace)
+        with_wars.finish()
+        without = StrataRecorder(2, log_wars=False)
+        without.process(trace)
+        without.finish()
+        assert len(with_wars.strata) > len(without.strata)
+
+    def test_counters_sum_to_operations(self):
+        tuples = [(i % 3, (i * 5) % 4, i % 2 == 0) for i in range(60)]
+        recorder = StrataRecorder(3)
+        recorder.process(trace_from(tuples))
+        recorder.finish()
+        assert sum(sum(s) for s in recorder.strata) == 60
+
+
+class TestSizeAccounting:
+    def test_stratum_width_is_vector(self):
+        recorder = StrataRecorder(4)
+        recorder.process(trace_from([(0, 1, True), (1, 1, False)]))
+        recorder.finish()
+        assert recorder.size_bits == len(recorder.strata) * 4 * 16
+
+    def test_compressed_not_larger(self):
+        tuples = [(i % 4, i % 3, True) for i in range(80)]
+        recorder = StrataRecorder(4)
+        recorder.process(trace_from(tuples))
+        recorder.finish()
+        assert recorder.compressed_size_bits() <= recorder.size_bits
+
+
+_access = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=5),
+    st.booleans(),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(_access, max_size=120))
+def test_separation_invariant_property(tuples):
+    """Every cross-processor dependence ends up with its two references
+    in different stratum regions -- Strata's correctness condition."""
+    trace = trace_from(tuples)
+    recorder = StrataRecorder(4)
+    recorder.process(trace)
+    recorder.finish()
+    assert recorder.verify_separation(trace)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_access, max_size=100))
+def test_separation_invariant_without_wars(tuples):
+    trace = trace_from(tuples)
+    recorder = StrataRecorder(4, log_wars=False)
+    recorder.process(trace)
+    recorder.finish()
+    assert recorder.verify_separation(trace)

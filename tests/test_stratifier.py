@@ -1,0 +1,147 @@
+"""Tests for PI-log stratification (Section 4.3)."""
+
+import pytest
+
+from repro.chunks.signature import Signature, SignatureConfig
+from repro.core.stratifier import Stratifier
+from repro.errors import ConfigurationError, LogFormatError
+
+
+def sig(*lines) -> Signature:
+    signature = Signature(SignatureConfig())
+    for line in lines:
+        signature.insert(line)
+    return signature
+
+
+class TestStratumEmission:
+    def test_no_conflicts_one_stratum(self):
+        stratifier = Stratifier(num_slots=2, chunks_per_stratum=7)
+        for _ in range(3):
+            stratifier.observe(0, sig(1), sig(2))
+            stratifier.observe(1, sig(3), sig(4))
+        stratifier.finish()
+        assert len(stratifier.strata) == 1
+        assert stratifier.strata[0].counts == (3, 3)
+
+    def test_conflict_breaks_stratum(self):
+        stratifier = Stratifier(num_slots=2, chunks_per_stratum=7)
+        stratifier.observe(0, sig(1), sig(10))
+        stratifier.observe(1, sig(10), sig(20))  # reads 0's write
+        stratifier.finish()
+        assert len(stratifier.strata) == 2
+        assert stratifier.strata[0].counts == (1, 0)
+        assert stratifier.strata[1].counts == (0, 1)
+
+    def test_same_processor_conflict_ignored(self):
+        """Within-processor cross-chunk conflicts do not break strata
+        (same-processor commits serialize by construction)."""
+        stratifier = Stratifier(num_slots=2, chunks_per_stratum=7)
+        stratifier.observe(0, sig(1), sig(10))
+        stratifier.observe(0, sig(10), sig(10))
+        stratifier.finish()
+        assert len(stratifier.strata) == 1
+
+    def test_counter_saturation_breaks_stratum(self):
+        stratifier = Stratifier(num_slots=2, chunks_per_stratum=1)
+        stratifier.observe(0, sig(1), sig(2))
+        stratifier.observe(0, sig(3), sig(4))
+        stratifier.finish()
+        assert len(stratifier.strata) == 2
+
+    def test_war_breaks_stratum(self):
+        """A write after another processor's read must be separated."""
+        stratifier = Stratifier(num_slots=2, chunks_per_stratum=7)
+        stratifier.observe(0, sig(50), sig(1))   # proc 0 reads line 50
+        stratifier.observe(1, sig(2), sig(50))   # proc 1 writes line 50
+        stratifier.finish()
+        assert len(stratifier.strata) == 2
+
+    def test_finish_flushes_partial(self):
+        stratifier = Stratifier(num_slots=2, chunks_per_stratum=7)
+        stratifier.observe(0, sig(1), sig(2))
+        assert len(stratifier.strata) == 0
+        stratifier.finish()
+        assert len(stratifier.strata) == 1
+
+    def test_total_chunks(self):
+        stratifier = Stratifier(num_slots=3, chunks_per_stratum=3)
+        for index in range(10):
+            stratifier.observe(index % 3, sig(index * 100),
+                               sig(index * 100 + 1))
+        assert stratifier.total_chunks == 10
+
+
+class TestBitAccounting:
+    def test_counter_bits_by_saturation(self):
+        assert Stratifier(8, 1).counter_bits == 1
+        assert Stratifier(8, 3).counter_bits == 2
+        assert Stratifier(8, 7).counter_bits == 3
+
+    def test_stratum_bits(self):
+        assert Stratifier(9, 1).stratum_bits == 9
+        assert Stratifier(9, 7).stratum_bits == 27
+
+    def test_encode_decode_roundtrip(self):
+        stratifier = Stratifier(num_slots=4, chunks_per_stratum=3)
+        for index in range(20):
+            stratifier.observe(index % 4, sig(index), sig(index + 1000))
+        stratifier.finish()
+        payload, bits = stratifier.encode()
+        decoded = stratifier.decode_strata(payload, bits)
+        assert decoded == stratifier.strata
+
+
+class TestValidation:
+    def test_validate_against_commits_accepts_truth(self):
+        stratifier = Stratifier(num_slots=2, chunks_per_stratum=2)
+        commits = []
+        for index in range(8):
+            proc = index % 2
+            stratifier.observe(proc, sig(index * 10),
+                               sig(index * 10 + 1))
+            commits.append(proc)
+        stratifier.finish()
+        stratifier.validate_against_commits(commits)  # must not raise
+
+    def test_validate_rejects_wrong_sequence(self):
+        stratifier = Stratifier(num_slots=2, chunks_per_stratum=2)
+        stratifier.observe(0, sig(1), sig(2))
+        stratifier.observe(1, sig(3), sig(4))
+        stratifier.finish()
+        with pytest.raises(LogFormatError):
+            stratifier.validate_against_commits([0, 0])
+
+    def test_bad_proc_rejected(self):
+        stratifier = Stratifier(num_slots=2, chunks_per_stratum=1)
+        with pytest.raises(ConfigurationError):
+            stratifier.observe(5, sig(1), sig(2))
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            Stratifier(0, 1)
+        with pytest.raises(ConfigurationError):
+            Stratifier(2, 0)
+
+
+class TestSizeBehaviour:
+    def test_one_chunk_per_stratum_packs_one_round(self):
+        """Cap 1 means one chunk per *processor* per stratum: a full
+        conflict-free round of 8 processors shares a stratum, which is
+        where Figure 9's halving of the PI log comes from."""
+        stratifier = Stratifier(num_slots=8, chunks_per_stratum=1)
+        for index in range(40):
+            stratifier.observe(index % 8, sig(index), sig(index + 500))
+        stratifier.finish()
+        assert len(stratifier.strata) == 5
+
+    def test_larger_cap_fewer_strata_without_conflicts(self):
+        small_cap = Stratifier(num_slots=4, chunks_per_stratum=1)
+        big_cap = Stratifier(num_slots=4, chunks_per_stratum=7)
+        for index in range(28):
+            proc = index % 4
+            small_cap.observe(proc, sig(index * 7), sig(index * 7 + 3))
+            big_cap.observe(proc, sig(index * 7), sig(index * 7 + 3))
+        small_cap.finish()
+        big_cap.finish()
+        assert len(big_cap.strata) < len(small_cap.strata)

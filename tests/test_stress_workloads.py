@@ -1,0 +1,111 @@
+"""Tests for the determinism-stress workload generators."""
+
+import pytest
+
+from conftest import small_config
+
+from repro.core.delorean import DeLoreanSystem
+from repro.core.modes import ExecutionMode
+from repro.core.replayer import ReplayPerturbation
+from repro.workloads.program_builder import shared_address
+from repro.workloads.stress import (
+    RACEY_CELLS,
+    handoff_program,
+    racey_cell,
+    racey_program,
+)
+
+
+def run_with_chunk(program, chunk_size, mode=ExecutionMode.ORDER_ONLY):
+    config = small_config()
+    system = DeLoreanSystem(mode=mode, machine_config=config,
+                            chunk_size=chunk_size)
+    return system, system.record(program)
+
+
+def signature_of(memory):
+    value = 0
+    for index in range(RACEY_CELLS):
+        value ^= memory.get(racey_cell(index), 0)
+    return value
+
+
+class TestRaceyKernel:
+    def test_generation_deterministic(self):
+        assert (racey_program(seed=5).threads
+                == racey_program(seed=5).threads)
+        assert (racey_program(seed=5).threads
+                != racey_program(seed=6).threads)
+
+    def test_interleaving_sensitivity(self):
+        """Different chunk geometry => different interleaving =>
+        different final signature (the kernel's whole point)."""
+        signatures = set()
+        for chunk_size in (48, 64, 80, 96):
+            _, recording = run_with_chunk(
+                racey_program(threads=4, rounds=60, seed=3), chunk_size)
+            signatures.add(signature_of(recording.final_memory))
+        assert len(signatures) >= 3
+
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_replays_exactly_in_every_mode(self, mode):
+        system, recording = run_with_chunk(
+            racey_program(threads=4, rounds=50, seed=8), 64, mode)
+        reference = signature_of(recording.final_memory)
+        result = system.replay(recording,
+                               perturbation=ReplayPerturbation(seed=4))
+        assert result.determinism.matches
+        assert signature_of(result.final_memory) == reference
+
+    def test_cells_are_line_disjoint(self):
+        lines = {racey_cell(index) >> 3 for index in range(RACEY_CELLS)}
+        assert len(lines) == RACEY_CELLS
+
+
+class TestHandoffKernel:
+    def test_token_makes_all_hops(self):
+        """laps x threads mix steps transform the token value."""
+        from repro.machine.program import compute_mix
+        threads, laps = 4, 5
+        _, recording = run_with_chunk(
+            handoff_program(threads=threads, laps=laps), 64)
+        token = shared_address(0x2000)
+        expected = 7
+        for _ in range(threads * laps):
+            expected = compute_mix(expected, 15)
+        assert recording.final_memory[token] == expected
+
+    def test_gates_end_consistently(self):
+        """After the final lap every gate except thread 0's is open
+        exactly once more... i.e., gate 0 ends released by thread N-1,
+        all other gates end held (re-acquired, never re-released)."""
+        threads = 4
+        _, recording = run_with_chunk(
+            handoff_program(threads=threads, laps=3), 64)
+        gate = lambda i: shared_address(0x1000 + i * 8)
+        assert recording.final_memory.get(gate(0), 0) == 0
+        for index in range(1, threads):
+            assert recording.final_memory.get(gate(index), 0) == 1
+
+    @pytest.mark.parametrize("mode", [ExecutionMode.ORDER_ONLY,
+                                      ExecutionMode.PICOLOG])
+    def test_spin_counts_replay_without_cs_entries(self, mode):
+        """The handoff's spins are wholly interleaving-dependent and
+        reproduce from commit order alone -- no CS entries needed for
+        them (only stochastic overflow would add entries, disabled
+        here; Order&Size is excluded since it logs every size by
+        design)."""
+        config = small_config()
+        system = DeLoreanSystem(mode=mode, machine_config=config,
+                                chunk_size=64,
+                                stochastic_overflow_rate=0.0)
+        recording = system.record(handoff_program(threads=4, laps=4))
+        assert sum(len(log) for log in recording.cs_logs.values()) == 0
+        result = system.replay(recording,
+                               perturbation=ReplayPerturbation(seed=6))
+        assert result.determinism.matches
+
+    def test_two_thread_minimal_ring(self):
+        system, recording = run_with_chunk(
+            handoff_program(threads=2, laps=3), 64)
+        assert system.replay(recording).determinism.matches

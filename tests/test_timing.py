@@ -1,0 +1,92 @@
+"""Tests for machine configuration and the timing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.timing import MachineConfig, TimingModel
+
+
+class TestTimingModel:
+    def test_instruction_cycles(self):
+        timing = TimingModel(base_cpi=0.5)
+        assert timing.instruction_cycles(100) == 50.0
+
+    def test_miss_latencies(self):
+        timing = TimingModel()
+        assert timing.miss_latency("l1") == timing.l1_hit_cycles
+        assert timing.miss_latency("l2") == timing.l2_hit_cycles
+        assert timing.miss_latency("memory") == timing.memory_cycles
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel().miss_latency("l7")
+
+    def test_exposure_ordering_matches_models(self):
+        """The calibration must keep RC <= PC <= SC exposures."""
+        timing = TimingModel()
+        assert (timing.rc_load_exposure <= timing.pc_load_exposure
+                <= timing.sc_load_exposure)
+        assert (timing.rc_store_exposure <= timing.pc_store_exposure
+                <= timing.sc_store_exposure)
+
+
+class TestMachineConfigValidation:
+    def test_defaults_are_table5(self):
+        config = MachineConfig()
+        assert config.num_processors == 8
+        assert config.l1_sets == 128
+        assert config.l1_ways == 4
+        assert config.standard_chunk_size == 2000
+        assert config.simultaneous_chunks == 2
+        assert config.max_concurrent_commits == 4
+        assert config.arbitration_roundtrip == 30
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_processors=0)
+
+    def test_too_many_processors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_processors=100)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(line_words=6)
+
+    def test_tiny_chunks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(standard_chunk_size=4)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(simultaneous_chunks=0)
+
+    def test_zero_commit_slots_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(max_concurrent_commits=0)
+
+
+class TestAddressGeometry:
+    def test_line_mapping(self):
+        config = MachineConfig(line_words=8)
+        assert config.line_shift == 3
+        assert config.line_of(0) == 0
+        assert config.line_of(7) == 0
+        assert config.line_of(8) == 1
+
+    def test_dma_proc_id(self):
+        assert MachineConfig(num_processors=8).dma_proc_id == 8
+        assert MachineConfig(num_processors=4).dma_proc_id == 4
+
+    def test_pi_entry_bits(self):
+        """4 bits up to 15 processors (Table 5); 5 bits for the
+        16-processor Figure 12 sweeps."""
+        assert MachineConfig(num_processors=4).pi_entry_bits == 4
+        assert MachineConfig(num_processors=8).pi_entry_bits == 4
+        assert MachineConfig(num_processors=15).pi_entry_bits == 4
+        assert MachineConfig(num_processors=16).pi_entry_bits == 5
+
+    def test_pi_entries_fit_dma_id(self):
+        for procs in (2, 8, 15, 16):
+            config = MachineConfig(num_processors=procs)
+            assert config.dma_proc_id < (1 << config.pi_entry_bits)

@@ -1,0 +1,128 @@
+"""Tests for the TSO store-buffer executor (Advanced RTR's substrate)."""
+
+import pytest
+
+from conftest import counter_program, small_config, two_phase_program
+
+from repro.baselines import ConsistencyModel, InterleavedExecutor
+from repro.baselines.tso import TSOExecutor
+from repro.errors import ConfigurationError
+from repro.machine.program import Op, OpKind, Program
+from repro.workloads.program_builder import ProgramBuilder, shared_address
+
+
+def run_tso(program, **kwargs):
+    return TSOExecutor(program, small_config(), **kwargs).run()
+
+
+class TestArchitecturalCorrectness:
+    def test_locked_counter_exact(self):
+        result = run_tso(counter_program(3, 12))
+        assert result.final_memory[shared_address(0)] == 36
+
+    def test_barrier_copy(self):
+        result = run_tso(two_phase_program())
+        for index in range(8):
+            assert result.final_memory[
+                shared_address(256) + index] == 100 + index
+
+    def test_matches_sc_final_state_for_synchronized_code(self):
+        program = counter_program(3, 10)
+        tso = run_tso(counter_program(3, 10))
+        sc = InterleavedExecutor(program, small_config(),
+                                 ConsistencyModel.SC).run()
+        assert tso.final_memory == sc.final_memory
+
+    def test_buffered_stores_drain_at_end(self):
+        program = Program(threads=[[
+            Op(OpKind.STORE, address=shared_address(4), value=9)]])
+        result = run_tso(program)
+        assert result.final_memory[shared_address(4)] == 9
+
+
+class TestStoreBufferSemantics:
+    def test_store_to_load_forwarding(self):
+        """A thread's own load sees its buffered store (no violation)."""
+        program = Program(threads=[[
+            Op(OpKind.STORE, address=shared_address(4), value=5),
+            Op(OpKind.LOAD, address=shared_address(4)),
+            Op(OpKind.STORE, address=shared_address(8)),  # store acc
+        ]])
+        result = run_tso(program)
+        assert result.final_memory[shared_address(8)] == 5
+        assert result.sc_violations == 0
+
+    def test_observable_bypass_is_violation(self):
+        """Store X buffered; a *remote* write to Y lands; our load of Y
+        bypasses the older store: the Advanced RTR case whose load
+        value must be logged."""
+        program = Program(threads=[
+            [Op(OpKind.STORE, address=shared_address(4), value=5),
+             Op(OpKind.COMPUTE, count=500),
+             Op(OpKind.LOAD, address=shared_address(16))],
+            [Op(OpKind.COMPUTE, count=10),
+             Op(OpKind.RMW, address=shared_address(16), value=77)],
+        ])
+        result = run_tso(program, drain_cycles=10_000.0)
+        assert result.sc_violations == 1
+        assert result.violating_load_values == [77]
+
+    def test_unobservable_bypass_is_not_logged(self):
+        """A bypassing load of an untouched location is SC-equivalent:
+        Advanced RTR logs nothing for it."""
+        program = Program(threads=[[
+            Op(OpKind.STORE, address=shared_address(4), value=5),
+            Op(OpKind.LOAD, address=shared_address(16)),
+        ]], initial_memory={shared_address(16): 77})
+        result = run_tso(program, drain_cycles=10_000.0)
+        assert result.sc_violations == 0
+
+    def test_drained_store_clears_violations(self):
+        """With instant drain, nothing ever bypasses."""
+        program = Program(threads=[[
+            Op(OpKind.STORE, address=shared_address(4), value=5),
+            Op(OpKind.COMPUTE, count=500),
+            Op(OpKind.LOAD, address=shared_address(16)),
+        ]])
+        result = run_tso(program, drain_cycles=1.0)
+        assert result.sc_violations == 0
+
+    def test_full_buffer_stalls(self):
+        stores = [Op(OpKind.STORE, address=shared_address(8 * i),
+                     value=i) for i in range(12)]
+        program = Program(threads=[stores])
+        result = run_tso(program, buffer_depth=2,
+                         drain_cycles=500.0)
+        assert result.store_buffer_stalls > 0
+
+    def test_atomics_fence_the_buffer(self):
+        """An RMW drains older stores before executing."""
+        program = Program(threads=[[
+            Op(OpKind.STORE, address=shared_address(4), value=5),
+            Op(OpKind.RMW, address=shared_address(4), value=1),
+            Op(OpKind.LOAD, address=shared_address(4)),
+            Op(OpKind.STORE, address=shared_address(8)),
+        ]])
+        result = run_tso(program, drain_cycles=10_000.0)
+        assert result.final_memory[shared_address(8)] == 6
+
+    def test_bad_buffer_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TSOExecutor(counter_program(1, 1), buffer_depth=0)
+
+
+class TestTimingPosition:
+    def test_tso_between_sc_and_rc(self):
+        """The paper estimates Advanced RTR (TSO) near PC: faster than
+        SC, slower than RC."""
+        from repro.workloads import splash2_program
+        program = lambda: splash2_program("fft", scale=0.2, seed=2)
+        config = small_config()
+        sc = InterleavedExecutor(program(), config,
+                                 ConsistencyModel.SC,
+                                 collect_trace=False).run()
+        rc = InterleavedExecutor(program(), config,
+                                 ConsistencyModel.RC,
+                                 collect_trace=False).run()
+        tso = TSOExecutor(program(), config).run()
+        assert rc.cycles < tso.cycles < sc.cycles
