@@ -18,6 +18,7 @@ from harness import (
     PAPER_RTR_BITS_PER_PROC_PER_KILOINST,
     SPLASH2,
     emit,
+    prefetch,
     record_app,
     run_once,
     splash2_gm,
@@ -43,6 +44,7 @@ def _log_sizes(app: str, chunk_size: int):
 
 
 def compute_figure():
+    prefetch("fig06")   # fans the whole sweep out when REPRO_BENCH_JOBS>1
     results = {}
     for chunk_size in CHUNK_SIZES:
         by_app = {app: _log_sizes(app, chunk_size)

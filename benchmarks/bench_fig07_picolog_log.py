@@ -15,6 +15,7 @@ from harness import (
     PAPER_RTR_BITS_PER_PROC_PER_KILOINST,
     SPLASH2,
     emit,
+    prefetch,
     record_app,
     run_once,
     splash2_gm,
@@ -43,6 +44,7 @@ def _mean(values):
 
 
 def compute_figure():
+    prefetch("fig07")   # fans the whole sweep out when REPRO_BENCH_JOBS>1
     return {chunk_size: {app: _cs_sizes(app, chunk_size)
                          for app in SPLASH2 + COMMERCIAL}
             for chunk_size in CHUNK_SIZES}

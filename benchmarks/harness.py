@@ -1,29 +1,46 @@
 """Shared infrastructure for the benchmark/experiment harness.
 
 Every table and figure of the paper's evaluation (Section 6) has one
-bench module that regenerates it.  This module provides cached program
-construction and simulation runs so figures that share runs (e.g. the
-Figure 10 RC baselines and the Figure 11 replays) pay for them once per
-pytest session.
+bench module that regenerates it.  Simulation runs are described as
+:class:`~repro.runner.specs.RunSpec` jobs and executed through the
+:class:`~repro.runner.pool.Runner`, which backs them with the
+content-addressed result cache under ``.repro-cache/``: figures that
+share runs (e.g. the Figure 10 RC baselines and the Figure 11 replays)
+pay for them once, and a re-run of the whole suite with a warm cache
+is near-instant.
+
+Unlike the old ``lru_cache`` scheme, callers never share mutable
+result objects across figures: every ``record_app``/``replay_app``/
+``consistency_run`` call materializes a *fresh* object from the
+immutable cached artifact, and the artifact encoding is deterministic
+(same spec hash => byte-identical bytes), so one figure mutating a
+recording can no longer contaminate another.
 
 Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` -- workload scale factor (default 1.0, the full
   synthetic workload size).  Lower it for quick smoke runs.
 * ``REPRO_BENCH_SEED`` -- workload seed (default 11).
+* ``REPRO_BENCH_JOBS`` -- worker processes for prefetched sweeps
+  (default 1 = inline; same engine as ``python -m repro bench -j N``).
+* ``REPRO_BENCH_NO_CACHE`` -- set to 1 to bypass the on-disk cache.
+* ``REPRO_CACHE_DIR`` -- cache root (default ``.repro-cache``).
 """
 
 from __future__ import annotations
 
 import os
-from functools import lru_cache
 
 from repro.analysis.report import format_table, geometric_mean
-from repro.baselines import ConsistencyModel, InterleavedExecutor
+from repro.baselines import ConsistencyModel
 from repro.core.delorean import DeLoreanSystem
 from repro.core.modes import ExecutionMode
-from repro.core.replayer import ReplayPerturbation
-from repro.machine.timing import MachineConfig
+from repro.runner import ResultCache, Runner, RunSpec
+from repro.runner.figures import FIGURES, specs_for
+from repro.runner.jobs import (
+    recording_from_artifact,
+    result_from_artifact,
+)
 from repro.workloads import (
     SPLASH2_APPS,
     commercial_program,
@@ -32,6 +49,8 @@ from repro.workloads import (
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "11"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+NO_CACHE = os.environ.get("REPRO_BENCH_NO_CACHE", "0") not in ("", "0")
 
 SPLASH2 = list(SPLASH2_APPS)
 COMMERCIAL = ["sjbb2k", "sweb2005"]
@@ -55,6 +74,44 @@ PAPER = {
     "stratified_pi_reduction": 0.54,
 }
 
+_RUNNER: Runner | None = None
+#: In-process memo of immutable artifacts (hash -> artifact).  Results
+#: are *materialized fresh* from these on every call.
+_ARTIFACTS: dict[str, dict] = {}
+
+
+def runner() -> Runner:
+    """The session's shared runner (workers/cache from the env)."""
+    global _RUNNER
+    if _RUNNER is None:
+        _RUNNER = Runner(jobs=max(1, JOBS),
+                         cache=False if NO_CACHE else ResultCache())
+    return _RUNNER
+
+
+def _artifact(spec: RunSpec) -> dict:
+    artifact = _ARTIFACTS.get(spec.content_hash())
+    if artifact is None:
+        artifact = runner().run_one(spec)
+        _ARTIFACTS[spec.content_hash()] = artifact
+    return artifact
+
+
+def prefetch(*figure_names: str) -> None:
+    """Fan a figure's whole spec batch through the runner up front.
+
+    With ``REPRO_BENCH_JOBS > 1`` this parallelizes the figure's
+    simulations; the per-run helpers below then serve everything from
+    the (in-process or on-disk) cache.  Serial runs lose nothing: the
+    same jobs would have run one-by-one anyway.
+    """
+    figures = [FIGURES[name] for name in figure_names]
+    specs = specs_for(figures, apps=tuple(ALL_APPS), scale=SCALE,
+                      seed=SEED)
+    for outcome in runner().run(specs):
+        if outcome.ok:
+            _ARTIFACTS[outcome.spec.content_hash()] = outcome.artifact
+
 
 def program_for(app: str, num_threads: int = 8, scale: float | None = None):
     """Fresh Program instance for an app (programs are mutable-ish, so
@@ -67,67 +124,61 @@ def program_for(app: str, num_threads: int = 8, scale: float | None = None):
                            num_threads=num_threads)
 
 
-@lru_cache(maxsize=None)
 def record_app(app: str, mode: ExecutionMode, chunk_size: int = 0,
                num_threads: int = 8, simultaneous: int = 0,
                scale_key: float = -1.0):
     """Cached recording of one app under one configuration.
 
     ``chunk_size=0`` means the mode's preferred size; ``simultaneous=0``
-    means the Table 5 default (2).  Returns (system, recording).
+    means the Table 5 default (2).  Returns (system, recording) -- a
+    fresh pair materialized from the cached artifact.
     """
     scale = SCALE if scale_key < 0 else scale_key
-    overrides = {"num_processors": num_threads}
-    if simultaneous:
-        overrides["simultaneous_chunks"] = simultaneous
-    machine_config = MachineConfig(**overrides)
+    spec = RunSpec.record(app, mode, chunk_size=chunk_size,
+                          num_threads=num_threads,
+                          simultaneous=simultaneous, scale=scale,
+                          seed=SEED)
+    recording = recording_from_artifact(_artifact(spec))
     system = DeLoreanSystem(
-        mode=mode,
-        machine_config=machine_config,
-        chunk_size=chunk_size or None,
+        mode=recording.mode_config.mode,
+        machine_config=recording.machine_config,
+        mode_config=recording.mode_config,
     )
-    recording = system.record(
-        program_for(app, num_threads=num_threads, scale=scale))
     return system, recording
 
 
-@lru_cache(maxsize=None)
 def replay_app(app: str, mode: ExecutionMode, use_strata: bool = False,
                scale_key: float = -1.0):
     """Cached perturbed replay of one app (Section 6.2.1 methodology)."""
-    system, recording = record_app(app, mode, scale_key=scale_key)
-    result = system.replay(
-        recording,
-        perturbation=ReplayPerturbation(seed=SEED * 13 + 7),
-        use_strata=use_strata,
-    )
+    scale = SCALE if scale_key < 0 else scale_key
+    spec = RunSpec.replay(app, mode, use_strata=use_strata,
+                          scale=scale, seed=SEED)
+    result = result_from_artifact(_artifact(spec))
     assert result.determinism.matches, (
         f"replay diverged for {app}/{mode}: "
         f"{result.determinism.summary()}")
     return result
 
 
-@lru_cache(maxsize=None)
 def consistency_run(app: str, model: ConsistencyModel,
                     num_threads: int = 8, collect_trace: bool = False,
                     scale_key: float = -1.0):
     """Cached interleaved (conventional-machine) run of one app."""
     scale = SCALE if scale_key < 0 else scale_key
-    executor = InterleavedExecutor(
-        program_for(app, num_threads=num_threads, scale=scale),
-        MachineConfig(num_processors=num_threads),
-        model,
-        collect_trace=collect_trace,
-    )
-    return executor.run()
+    spec = RunSpec.consistency(app, model, num_threads=num_threads,
+                               collect_trace=collect_trace,
+                               scale=scale, seed=SEED)
+    return result_from_artifact(_artifact(spec))
 
 
 def rc_cycles(app: str, num_threads: int = 8,
               scale_key: float = -1.0) -> float:
     """RC-baseline cycle count (the Figure 10/11/12 normalizer)."""
-    return consistency_run(app, ConsistencyModel.RC,
-                           num_threads=num_threads,
-                           scale_key=scale_key).cycles
+    scale = SCALE if scale_key < 0 else scale_key
+    spec = RunSpec.consistency(app, ConsistencyModel.RC,
+                               num_threads=num_threads, scale=scale,
+                               seed=SEED)
+    return _artifact(spec)["metrics"]["cycles"]
 
 
 def splash2_gm(values_by_app: dict[str, float]) -> float:

@@ -6,7 +6,8 @@
     python -m repro inspect fft.dlrn --timeline
     python -m repro replay fft.dlrn --perturb-seed 7
     python -m repro replay fft.dlrn --from-commit 80   # interval replay
-    python -m repro modes barnes --scale 0.4
+    python -m repro modes barnes --scale 0.4 --jobs 4
+    python -m repro bench fig10 fig11 --jobs 4         # parallel sweep
 
 Workload names are the SPLASH-2 stand-ins (barnes, cholesky, fft, fmm,
 lu, ocean, radiosity, radix, raytrace, water-ns, water-sp) plus sjbb2k
@@ -16,6 +17,7 @@ and sweb2005.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.inspect import (
@@ -32,6 +34,19 @@ from repro.core.modes import ExecutionMode
 from repro.core.replayer import ReplayPerturbation
 from repro.core.serialization import load_recording, save_recording
 from repro.errors import ReproError
+from repro.runner import (
+    ConsoleReporter,
+    ResultCache,
+    Runner,
+    RunSpec,
+)
+from repro.runner.figures import (
+    DEFAULT_APPS,
+    FIGURES,
+    resolve_figures,
+    specs_for,
+    validate_apps,
+)
 from repro.workloads import (
     COMMERCIAL_APPS,
     SPLASH2_APPS,
@@ -173,26 +188,77 @@ def _cmd_races(args) -> int:
     return 0
 
 
+def _make_runner(args, verbose: bool = True) -> Runner:
+    """A Runner configured from the shared --jobs/--no-cache/--timeout
+    options."""
+    return Runner(
+        jobs=max(1, args.jobs),
+        cache=False if args.no_cache else ResultCache(),
+        timeout=getattr(args, "timeout", None),
+        reporter=ConsoleReporter(verbose=verbose and args.jobs > 1),
+    )
+
+
 def _cmd_modes(args) -> int:
-    rows = []
+    # The mode comparison is itself a small sweep: 2 jobs per mode
+    # (record + verified replay), fanned through the runner so
+    # --jobs parallelizes it and repeated invocations hit the cache.
+    specs: dict[str, tuple[RunSpec, RunSpec]] = {}
     for label, mode in _MODES.items():
-        system = DeLoreanSystem(mode=mode)
-        recording = system.record(_program_for(args))
-        result = system.replay(recording,
-                               perturbation=ReplayPerturbation())
-        ordering = recording.memory_ordering
-        total = recording.total_committed_instructions
+        record = RunSpec.record(args.workload, mode, scale=args.scale,
+                                seed=args.seed)
+        replay = RunSpec.replay(
+            args.workload, mode, scale=args.scale, seed=args.seed,
+            perturb_seed=ReplayPerturbation().seed)
+        specs[label] = (record, replay)
+    runner = _make_runner(args)
+    artifacts = runner.artifacts_by_hash(
+        [spec for pair in specs.values() for spec in pair])
+    rows = []
+    for label, (record, replay) in specs.items():
+        recorded = artifacts.get(record.content_hash())
+        replayed = artifacts.get(replay.content_hash())
+        if recorded is None or replayed is None:
+            rows.append([label, "FAILED", "-", "-"])
+            continue
+        metrics = recorded["metrics"]
         rows.append([
             label,
-            f"{recording.stats.cycles:,.0f}",
-            f"{ordering.bits_per_proc_per_kiloinst(total, False):.2f}",
-            "yes" if result.determinism.matches else "NO",
+            f"{metrics['cycles']:,.0f}",
+            f"{metrics['log_bits_per_proc_per_kiloinst_raw']:.2f}",
+            "yes" if replayed["metrics"]["matches"] else "NO",
         ])
     print(format_table(
         ["mode", "record cycles", "log bits/proc/kinst",
          "replay verified"],
         rows, title=f"Execution-mode comparison on {args.workload}"))
-    return 0
+    return 0 if runner.metrics.failed == 0 else 1
+
+
+def _cmd_bench(args) -> int:
+    if args.list:
+        rows = [[figure.name, figure.description]
+                for figure in FIGURES.values()]
+        print(format_table(["figure", "sweep"], rows,
+                           title="Registered evaluation figures"))
+        return 0
+    figures = resolve_figures(args.figures)
+    apps = validate_apps(args.apps) if args.apps else DEFAULT_APPS
+    specs = specs_for(figures, apps=apps, scale=args.scale,
+                      seed=args.seed)
+    runner = _make_runner(args, verbose=not args.quiet)
+    outcomes = runner.run(specs)
+    artifacts = {outcome.spec.content_hash(): outcome.artifact
+                 for outcome in outcomes if outcome.ok}
+    for figure in figures:
+        print()
+        print(figure.render(artifacts, apps, args.scale, args.seed))
+    print()
+    print(f"runner: {runner.metrics.summary()}")
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    for outcome in failures:
+        print(f"\n{outcome.failure.summary()}", file=sys.stderr)
+    return 0 if not failures else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,10 +311,51 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--limit", type=int, default=40)
     inspect.set_defaults(func=_cmd_inspect)
 
+    def add_runner_options(p, timeout: bool = False):
+        p.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes for the sweep "
+                            "(default 1 = serial)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+        if timeout:
+            p.add_argument("--timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="per-job wall-clock budget (failed "
+                                "jobs are retried, then reported)")
+
     modes = sub.add_parser(
         "modes", help="compare the three execution modes on a workload")
     add_workload_options(modes)
+    add_runner_options(modes)
     modes.set_defaults(func=_cmd_modes)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run evaluation-figure sweeps through the parallel "
+             "runner (cached under .repro-cache/)")
+    bench.add_argument("figures", nargs="*", metavar="FIGURE",
+                       help="figures to run (default: all; see "
+                            "--list)")
+    bench.add_argument("--list", action="store_true",
+                       help="list registered figures and exit")
+    bench.add_argument("--apps", nargs="+", metavar="APP",
+                       help="restrict the sweep to these workloads")
+    bench.add_argument("--scale", type=float,
+                       default=float(os.environ.get(
+                           "REPRO_BENCH_SCALE", "1.0")),
+                       help="workload scale factor (default: "
+                            "$REPRO_BENCH_SCALE or 1.0, the harness "
+                            "default -- matching hashes warm the "
+                            "pytest bench cache)")
+    bench.add_argument("--seed", type=int,
+                       default=int(os.environ.get(
+                           "REPRO_BENCH_SEED", "11")),
+                       help="workload seed (default: "
+                            "$REPRO_BENCH_SEED or 11)")
+    bench.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress lines")
+    add_runner_options(bench, timeout=True)
+    bench.set_defaults(func=_cmd_bench)
 
     races = sub.add_parser(
         "races", help="report cross-writer contention in a recording")

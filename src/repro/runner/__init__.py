@@ -1,0 +1,52 @@
+"""repro.runner: parallel experiment execution with result caching.
+
+The experiment-execution engine behind ``python -m repro bench`` and
+``benchmarks/harness.py``:
+
+* :class:`RunSpec` -- canonical, content-hashed description of one
+  simulation run (:mod:`repro.runner.specs`);
+* :class:`ResultCache` -- content-addressed on-disk artifact store
+  under ``.repro-cache/`` (:mod:`repro.runner.cache`);
+* :class:`Runner` -- process-pool fan-out with per-job timeouts,
+  bounded retry and structured failures (:mod:`repro.runner.pool`,
+  :mod:`repro.runner.retry`);
+* :class:`Reporter` / :class:`RunnerMetrics` -- pluggable progress and
+  counters (:mod:`repro.runner.reporting`);
+* the figure registry mapping the paper's evaluation sweeps to spec
+  batches (:mod:`repro.runner.figures`).
+"""
+
+from repro.runner.cache import ResultCache, source_tree_salt
+from repro.runner.jobs import (
+    execute_spec,
+    recording_from_artifact,
+    result_from_artifact,
+)
+from repro.runner.pool import JobOutcome, Runner, RunnerError
+from repro.runner.reporting import (
+    ConsoleReporter,
+    NullReporter,
+    Reporter,
+    RunnerMetrics,
+)
+from repro.runner.retry import AttemptFailure, FailureRecord, RetryPolicy
+from repro.runner.specs import RunSpec
+
+__all__ = [
+    "AttemptFailure",
+    "ConsoleReporter",
+    "FailureRecord",
+    "JobOutcome",
+    "NullReporter",
+    "Reporter",
+    "ResultCache",
+    "RetryPolicy",
+    "Runner",
+    "RunnerError",
+    "RunnerMetrics",
+    "RunSpec",
+    "execute_spec",
+    "recording_from_artifact",
+    "result_from_artifact",
+    "source_tree_salt",
+]

@@ -1,0 +1,150 @@
+"""Content-addressed on-disk result cache.
+
+Artifacts are JSON documents stored under ``.repro-cache/`` (or
+``$REPRO_CACHE_DIR``), addressed by ``<salt>/<hh>/<spec-hash>.json``
+where
+
+* ``spec-hash`` is :meth:`RunSpec.content_hash` -- the SHA-256 of the
+  run's canonical form, and
+* ``salt`` is a code-version fingerprint: a SHA-256 over every
+  ``repro`` source file (path + content).  Editing any simulation
+  source lands subsequent runs in a fresh namespace, so stale results
+  can never be served after a code change.  ``$REPRO_CACHE_SALT``
+  overrides it (useful for tests and for pinning a namespace across
+  checkouts known to be equivalent).
+
+Writes are atomic (temp file + ``os.replace``) and the encoding is
+canonical (sorted keys, fixed separators), so concurrent workers that
+race on the same spec produce byte-identical files and the loser's
+rename is harmless.  A cached artifact whose recorded ``spec_hash``
+disagrees with its address is treated as corruption: dropped and
+recomputed, never returned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+
+from repro.runner.specs import RunSpec
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Artifact document schema version.
+ARTIFACT_SCHEMA = 1
+
+
+@lru_cache(maxsize=1)
+def source_tree_salt() -> str:
+    """Fingerprint of the installed ``repro`` package sources."""
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        relative = path.relative_to(package_root).as_posix()
+        digest.update(relative.encode())
+        digest.update(b"\0")
+        digest.update(hashlib.sha256(path.read_bytes()).digest())
+    return digest.hexdigest()[:16]
+
+
+def encode_artifact(artifact: dict) -> bytes:
+    """Canonical byte encoding of an artifact document.
+
+    The same artifact always encodes to the same bytes; the test
+    suite's determinism guard compares these encodings directly.
+    """
+    return json.dumps(artifact, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+class ResultCache:
+    """Content-addressed artifact store with hit/miss accounting."""
+
+    def __init__(self, root: str | os.PathLike | None = None,
+                 salt: str | None = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        if salt is None:
+            salt = os.environ.get("REPRO_CACHE_SALT") or \
+                source_tree_salt()
+        self.root = Path(root)
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, spec: RunSpec) -> Path:
+        """Where the artifact for ``spec`` lives (or would live)."""
+        spec_hash = spec.content_hash()
+        return (self.root / self.salt / spec_hash[:2] /
+                f"{spec_hash}.json")
+
+    def load(self, spec: RunSpec) -> dict | None:
+        """The cached artifact for ``spec``, or ``None`` on miss."""
+        path = self.path_for(spec)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            artifact = json.loads(raw)
+            if artifact.get("spec_hash") != spec.content_hash():
+                raise ValueError("artifact/address hash mismatch")
+        except (ValueError, AttributeError):
+            # Corrupt or foreign file at our address: drop and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artifact
+
+    def store(self, spec: RunSpec, artifact: dict) -> Path:
+        """Atomically persist ``artifact`` for ``spec``."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = encode_artifact(artifact)
+        handle, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(handle, "wb") as temp:
+                temp.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def get_or_compute(self, spec: RunSpec, compute) -> dict:
+        """Serve from cache, else run ``compute(spec, self)`` and
+        persist its artifact.  ``compute`` receives the cache so jobs
+        with dependencies (replay -> record) can reuse it."""
+        artifact = self.load(spec)
+        if artifact is not None:
+            return artifact
+        artifact = compute(spec, self)
+        self.store(spec, artifact)
+        return artifact
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> dict:
+        """Hit/miss/store counters (for metrics snapshots)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores}

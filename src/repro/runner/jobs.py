@@ -1,0 +1,256 @@
+"""Job execution: turn a :class:`RunSpec` into a result artifact.
+
+This module is the worker side of the runner.  :func:`execute_spec`
+runs one simulation and packages the outcome as a JSON-serializable
+*artifact*::
+
+    {
+      "schema": 1,
+      "kind": "record" | "replay" | "consistency",
+      "spec": {...canonical spec...},
+      "spec_hash": "...",
+      "metrics": {...figure-ready numbers...},
+      "payload_codec": "dlrn" | "pickle",
+      "payload": "<base64>",
+    }
+
+``metrics`` carries every number the figure renderers need, so sweeps
+can tabulate results without touching the payload.  ``payload`` holds
+the full result object -- the native ``save_recording`` container for
+recordings, a fixed-protocol pickle for replay/consistency results --
+so the benchmark harness can hand callers real ``Recording`` /
+``ReplayResult`` / ``InterleavedResult`` instances reconstructed from
+cache.  Both encodings are deterministic: executing the same spec
+twice yields byte-identical artifacts (the cache determinism guard).
+
+:func:`invoke` is the actual pool entry point: it wraps
+:func:`execute_spec` with a SIGALRM-based hard timeout and converts
+every failure into a structured, picklable failure dictionary, so a
+crashing or hanging job degrades the sweep instead of poisoning the
+pool.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+import signal
+import time
+import traceback
+
+from repro.baselines import InterleavedExecutor
+from repro.core.delorean import DeLoreanSystem
+from repro.core.replayer import ReplayPerturbation
+from repro.core.serialization import load_recording, save_recording
+from repro.runner.specs import RunSpec
+from repro.workloads import (
+    COMMERCIAL_APPS,
+    commercial_program,
+    splash2_program,
+)
+
+#: Pickle protocol pinned for byte-stable payloads across interpreters.
+_PICKLE_PROTOCOL = 4
+
+
+class JobTimeout(Exception):
+    """A job exceeded its per-job wall-clock budget."""
+
+
+def _program_for(spec: RunSpec):
+    if spec.app in COMMERCIAL_APPS:
+        return commercial_program(spec.app, scale=spec.scale,
+                                  seed=spec.seed,
+                                  num_threads=spec.num_threads)
+    return splash2_program(spec.app, scale=spec.scale, seed=spec.seed,
+                           num_threads=spec.num_threads)
+
+
+def _base_artifact(spec: RunSpec) -> dict:
+    return {
+        "schema": 1,
+        "kind": spec.kind,
+        "spec": spec.canonical(),
+        "spec_hash": spec.content_hash(),
+    }
+
+
+def _record_metrics(recording) -> dict:
+    ordering = recording.memory_ordering
+    total = recording.total_committed_instructions
+    return {
+        "cycles": recording.stats.cycles,
+        "total_committed_instructions": total,
+        "num_processors": recording.machine_config.num_processors,
+        "pi_bits_raw": ordering.pi_size_bits(False),
+        "pi_bits_compressed": ordering.pi_size_bits(True),
+        "cs_bits_raw": ordering.cs_size_bits(False),
+        "cs_bits_compressed": ordering.cs_size_bits(True),
+        "total_bits_raw": ordering.total_size_bits(False),
+        "total_bits_compressed": ordering.total_size_bits(True),
+        "log_bits_per_proc_per_kiloinst_raw":
+            ordering.bits_per_proc_per_kiloinst(total, False),
+        "log_bits_per_proc_per_kiloinst_compressed":
+            ordering.bits_per_proc_per_kiloinst(total, True),
+    }
+
+
+def _run_record(spec: RunSpec, cache=None) -> dict:
+    system = DeLoreanSystem(
+        mode=spec.execution_mode(),
+        machine_config=spec.machine_config(),
+        chunk_size=spec.chunk_size or None,
+    )
+    recording = system.record(_program_for(spec))
+    artifact = _base_artifact(spec)
+    artifact["metrics"] = _record_metrics(recording)
+    artifact["payload_codec"] = "dlrn"
+    artifact["payload"] = base64.b64encode(
+        save_recording(recording)).decode("ascii")
+    return artifact
+
+
+def _run_replay(spec: RunSpec, cache=None) -> dict:
+    record_spec = spec.record_spec()
+    if cache is not None:
+        record_artifact = cache.get_or_compute(record_spec,
+                                               execute_spec)
+    else:
+        record_artifact = execute_spec(record_spec)
+    recording = recording_from_artifact(record_artifact)
+    system = DeLoreanSystem(
+        mode=recording.mode_config.mode,
+        machine_config=recording.machine_config,
+        mode_config=recording.mode_config,
+    )
+    perturbation = (None if spec.perturb_seed is None
+                    else ReplayPerturbation(seed=spec.perturb_seed))
+    result = system.replay(recording, perturbation=perturbation,
+                           use_strata=spec.use_strata)
+    artifact = _base_artifact(spec)
+    artifact["metrics"] = {
+        "cycles": result.cycles,
+        "matches": result.determinism.matches,
+        "compared_chunks": result.determinism.compared_chunks,
+        "summary": result.determinism.summary(),
+        "record_cycles": recording.stats.cycles,
+    }
+    artifact["payload_codec"] = "pickle"
+    artifact["payload"] = base64.b64encode(
+        pickle.dumps(result, protocol=_PICKLE_PROTOCOL)).decode("ascii")
+    return artifact
+
+
+def _run_consistency(spec: RunSpec, cache=None) -> dict:
+    executor = InterleavedExecutor(
+        _program_for(spec),
+        spec.machine_config(),
+        spec.consistency_model(),
+        collect_trace=spec.collect_trace,
+    )
+    result = executor.run()
+    artifact = _base_artifact(spec)
+    artifact["metrics"] = {
+        "cycles": result.cycles,
+        "total_instructions": result.total_instructions,
+        "ipc": result.ipc,
+        "spin_instructions": result.spin_instructions,
+        "trace_length": len(result.trace),
+    }
+    artifact["payload_codec"] = "pickle"
+    artifact["payload"] = base64.b64encode(
+        pickle.dumps(result, protocol=_PICKLE_PROTOCOL)).decode("ascii")
+    return artifact
+
+
+_RUNNERS = {
+    "record": _run_record,
+    "replay": _run_replay,
+    "consistency": _run_consistency,
+}
+
+
+def execute_spec(spec: RunSpec, cache=None) -> dict:
+    """Run one spec to completion and return its artifact.
+
+    ``cache`` (a :class:`~repro.runner.cache.ResultCache`) lets jobs
+    with dependencies -- a replay needs its recording -- reuse and
+    populate cached intermediates instead of recomputing them.
+    """
+    return _RUNNERS[spec.kind](spec, cache)
+
+
+def recording_from_artifact(artifact: dict):
+    """Materialize a fresh :class:`Recording` from a record artifact."""
+    if artifact.get("payload_codec") != "dlrn":
+        raise ValueError(
+            f"not a record artifact (codec "
+            f"{artifact.get('payload_codec')!r})")
+    return load_recording(base64.b64decode(artifact["payload"]))
+
+
+def result_from_artifact(artifact: dict):
+    """Materialize the replay/consistency result object."""
+    if artifact.get("payload_codec") != "pickle":
+        raise ValueError(
+            f"not a pickled-result artifact (codec "
+            f"{artifact.get('payload_codec')!r})")
+    return pickle.loads(base64.b64decode(artifact["payload"]))
+
+
+def _raise_timeout(signum, frame):
+    raise JobTimeout()
+
+
+def invoke(job_fn, spec: RunSpec, timeout: float | None,
+           cache_root, cache_salt) -> dict:
+    """Pool entry point: run ``job_fn(spec, cache)`` under a hard
+    per-job timeout and map every outcome to a picklable envelope.
+
+    Returns ``{"ok": True, "artifact": ..., "wall_time": ...}`` or
+    ``{"ok": False, "error_type": ..., "message": ...,
+    "traceback": ..., "wall_time": ...}``.  Never raises: exceptions
+    (and their tracebacks) travel as data so an exotic unpicklable
+    error cannot wedge the executor.
+    """
+    from repro.runner.cache import ResultCache
+
+    cache = (ResultCache(cache_root, cache_salt)
+             if cache_root is not None else None)
+    started = time.perf_counter()
+    alarm_set = False
+    previous_handler = None
+    if timeout and hasattr(signal, "SIGALRM"):
+        try:
+            previous_handler = signal.signal(signal.SIGALRM,
+                                             _raise_timeout)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+            alarm_set = True
+        except ValueError:
+            # Not the main thread (inline runs under unusual hosts):
+            # proceed without hard enforcement.
+            pass
+    try:
+        artifact = job_fn(spec, cache)
+        return {"ok": True, "artifact": artifact,
+                "wall_time": time.perf_counter() - started}
+    except JobTimeout:
+        return {
+            "ok": False,
+            "error_type": "JobTimeout",
+            "message": f"job exceeded its {timeout:g}s budget",
+            "traceback": "",
+            "wall_time": time.perf_counter() - started,
+        }
+    except BaseException as error:  # noqa: BLE001 -- envelope, not loss
+        return {
+            "ok": False,
+            "error_type": type(error).__name__,
+            "message": str(error),
+            "traceback": traceback.format_exc(),
+            "wall_time": time.perf_counter() - started,
+        }
+    finally:
+        if alarm_set:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous_handler)

@@ -1,0 +1,339 @@
+"""The runner: fan simulation jobs out across a process pool.
+
+:class:`Runner` takes a batch of :class:`RunSpec` jobs and drives each
+to a terminal state:
+
+1. **Dedup** -- specs are keyed by content hash; a sweep that names
+   the same run twice pays for it once.
+2. **Cache** -- every job is first looked up in the content-addressed
+   :class:`~repro.runner.cache.ResultCache`; hits never reach a
+   worker.
+3. **Waves** -- jobs with dependencies (a replay needs its recording)
+   run after their dependencies, so N replays of one recording share
+   one record job through the cache instead of each recomputing it.
+4. **Execute** -- misses run on a ``ProcessPoolExecutor`` (``jobs >
+   1``) or inline (``jobs == 1``, the serial baseline -- no pool
+   overhead, same code path for cache and retry).  Each attempt runs
+   under a per-job wall-clock timeout enforced *inside* the worker
+   (SIGALRM), so a hung simulation turns into a structured timeout
+   failure rather than a stuck pool.
+5. **Retry** -- failed attempts (exceptions, timeouts, a crashed
+   worker process) are retried with exponential backoff under a
+   :class:`~repro.runner.retry.RetryPolicy`; a job that exhausts its
+   budget yields a :class:`~repro.runner.retry.FailureRecord` and the
+   sweep continues.
+
+Progress and counters flow through a pluggable
+:class:`~repro.runner.reporting.Reporter`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.runner import jobs as jobs_module
+from repro.runner.cache import ResultCache
+from repro.runner.reporting import NullReporter, Reporter, RunnerMetrics
+from repro.runner.retry import (
+    AttemptFailure,
+    FailureRecord,
+    RetryPolicy,
+)
+from repro.runner.specs import RunSpec
+
+
+class RunnerError(ReproError):
+    """A sweep-level failure (raised by the strict helpers only)."""
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one job in a sweep."""
+
+    spec: RunSpec
+    artifact: dict | None = None
+    failure: FailureRecord | None = None
+    attempts: int = 0
+    wall_time: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced an artifact."""
+        return self.artifact is not None
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose one."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class Runner:
+    """Parallel, cached, fault-tolerant executor for run specs."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | bool | None = True,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        reporter: Reporter | None = None,
+        job_fn=jobs_module.execute_spec,
+    ) -> None:
+        if jobs < 1:
+            raise RunnerError("need at least one worker")
+        self.jobs = jobs
+        if cache is True:
+            cache = ResultCache()
+        elif cache is False:
+            cache = None
+        self.cache = cache
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self.reporter = reporter or NullReporter()
+        self.job_fn = job_fn
+        self.metrics = RunnerMetrics()
+
+    # -- public API -----------------------------------------------------
+
+    def run(self, specs) -> list[JobOutcome]:
+        """Drive every spec to a terminal state.
+
+        Returns one outcome per *distinct* requested spec, in first-
+        seen order.  Dependency jobs added for scheduling are executed
+        (and cached) but not returned.
+        """
+        requested: list[RunSpec] = []
+        seen: set[str] = set()
+        for spec in specs:
+            spec_hash = spec.content_hash()
+            if spec_hash not in seen:
+                seen.add(spec_hash)
+                requested.append(spec)
+
+        waves = self._plan_waves(requested, seen)
+        self.metrics = RunnerMetrics(
+            queued=sum(len(wave) for wave in waves))
+        self.reporter.on_start(self.metrics.queued)
+
+        outcomes: dict[str, JobOutcome] = {}
+        for wave in waves:
+            self._run_wave(wave, outcomes)
+        self.reporter.on_finish(self.metrics)
+        return [outcomes[spec.content_hash()] for spec in requested]
+
+    def run_one(self, spec: RunSpec) -> dict:
+        """Run a single spec; return its artifact or raise."""
+        outcome = self.run([spec])[0]
+        if not outcome.ok:
+            raise RunnerError(outcome.failure.summary())
+        return outcome.artifact
+
+    def artifacts_by_hash(self, specs) -> dict[str, dict]:
+        """Run a sweep; map spec hash -> artifact for the successes."""
+        return {outcome.spec.content_hash(): outcome.artifact
+                for outcome in self.run(specs) if outcome.ok}
+
+    # -- scheduling -----------------------------------------------------
+
+    def _plan_waves(self, requested, seen) -> list[list[RunSpec]]:
+        """Topologically bucket jobs: dependencies before dependents.
+
+        With the cache enabled, dependencies of requested jobs are
+        injected into the first wave so concurrent dependents share
+        one computation through the cache instead of racing on it.
+        """
+        first: list[RunSpec] = []
+        second: list[RunSpec] = []
+        for spec in requested:
+            dependencies = spec.dependencies()
+            if not dependencies:
+                first.append(spec)
+                continue
+            second.append(spec)
+            if self.cache is None:
+                continue  # nothing to share without a cache
+            for dependency in dependencies:
+                dep_hash = dependency.content_hash()
+                if dep_hash not in seen:
+                    seen.add(dep_hash)
+                    first.append(dependency)
+        return [wave for wave in (first, second) if wave]
+
+    def _run_wave(self, wave, outcomes) -> None:
+        misses: list[RunSpec] = []
+        for spec in wave:
+            artifact = self.cache.load(spec) if self.cache else None
+            if artifact is not None:
+                self.metrics.queued -= 1
+                self.metrics.done += 1
+                self.metrics.cache_hits += 1
+                outcome = JobOutcome(spec=spec, artifact=artifact,
+                                     from_cache=True)
+                outcomes[spec.content_hash()] = outcome
+                self.reporter.on_job_done(
+                    spec, from_cache=True, wall_time=0.0,
+                    metrics=self.metrics)
+            else:
+                self.metrics.cache_misses += 1
+                misses.append(spec)
+        if not misses:
+            return
+        if self.jobs == 1 or len(misses) == 1:
+            for spec in misses:
+                outcomes[spec.content_hash()] = self._run_inline(spec)
+        else:
+            self._run_pooled(misses, outcomes)
+
+    # -- execution ------------------------------------------------------
+
+    @property
+    def _cache_args(self) -> tuple:
+        if self.cache is None:
+            return (None, None)
+        return (str(self.cache.root), self.cache.salt)
+
+    def _finish_success(self, spec, envelope, attempt) -> JobOutcome:
+        artifact = envelope["artifact"]
+        if self.cache is not None:
+            self.cache.store(spec, artifact)
+        self.metrics.done += 1
+        self.metrics.running -= 1
+        self.metrics.job_wall_times.append(envelope["wall_time"])
+        outcome = JobOutcome(spec=spec, artifact=artifact,
+                             attempts=attempt,
+                             wall_time=envelope["wall_time"])
+        self.reporter.on_job_done(
+            spec, from_cache=False, wall_time=envelope["wall_time"],
+            metrics=self.metrics)
+        return outcome
+
+    def _finish_failure(self, spec, failures) -> JobOutcome:
+        record = FailureRecord(spec=spec, attempts=list(failures))
+        self.metrics.failed += 1
+        self.metrics.running -= 1
+        self.reporter.on_job_failed(spec, record.last.brief(),
+                                    self.metrics)
+        return JobOutcome(spec=spec, failure=record,
+                          attempts=len(failures))
+
+    def _attempt_failure(self, envelope, attempt) -> AttemptFailure:
+        return AttemptFailure(
+            attempt=attempt,
+            error_type=envelope["error_type"],
+            message=envelope["message"],
+            traceback=envelope.get("traceback", ""),
+            wall_time=envelope.get("wall_time", 0.0),
+        )
+
+    def _run_inline(self, spec: RunSpec) -> JobOutcome:
+        self.metrics.queued -= 1
+        self.metrics.running += 1
+        failures: list[AttemptFailure] = []
+        for attempt in range(1, self.retry.max_attempts + 1):
+            self.reporter.on_job_start(spec, attempt)
+            envelope = jobs_module.invoke(
+                self.job_fn, spec, self.timeout, *self._cache_args)
+            if envelope["ok"]:
+                return self._finish_success(spec, envelope, attempt)
+            failures.append(self._attempt_failure(envelope, attempt))
+            if self.retry.should_retry(attempt):
+                delay = self.retry.delay(attempt)
+                self.metrics.retries += 1
+                self.reporter.on_retry(spec, attempt, delay,
+                                       failures[-1].brief())
+                time.sleep(delay)
+        return self._finish_failure(spec, failures)
+
+    def _run_pooled(self, misses, outcomes) -> None:
+        executor = self._new_executor(len(misses))
+        pending: dict = {}     # future -> (spec, attempt, failures)
+        retry_at: list = []    # (due_time, spec, attempt, failures)
+
+        def submit(spec, attempt, failures):
+            self.reporter.on_job_start(spec, attempt)
+            future = executor.submit(
+                jobs_module.invoke, self.job_fn, spec, self.timeout,
+                *self._cache_args)
+            pending[future] = (spec, attempt, failures)
+
+        try:
+            for spec in misses:
+                self.metrics.queued -= 1
+                self.metrics.running += 1
+                submit(spec, 1, [])
+            while pending or retry_at:
+                now = time.monotonic()
+                due = [entry for entry in retry_at if entry[0] <= now]
+                retry_at = [entry for entry in retry_at
+                            if entry[0] > now]
+                for _, spec, attempt, failures in due:
+                    submit(spec, attempt, failures)
+                if not pending:
+                    time.sleep(min(0.05,
+                                   max(0.0, retry_at[0][0] - now)))
+                    continue
+                done, _ = concurrent.futures.wait(
+                    pending, timeout=0.05,
+                    return_when=concurrent.futures.FIRST_COMPLETED)
+                for future in done:
+                    spec, attempt, failures = pending.pop(future)
+                    try:
+                        envelope = future.result()
+                    except BrokenProcessPool:
+                        # The worker died hard (SIGKILL, segfault,
+                        # os._exit).  Every sibling future on this
+                        # executor is poisoned; rebuild the pool and
+                        # resubmit the survivors.
+                        envelope = {
+                            "ok": False,
+                            "error_type": "BrokenProcessPool",
+                            "message": "worker process died",
+                            "traceback": "",
+                            "wall_time": 0.0,
+                        }
+                        executor.shutdown(wait=True,
+                                          cancel_futures=True)
+                        executor = self._new_executor(
+                            len(pending) + len(retry_at) + 1)
+                        survivors = list(pending.items())
+                        pending.clear()
+                        for _, (s_spec, s_attempt,
+                                s_failures) in survivors:
+                            submit(s_spec, s_attempt, s_failures)
+                    except BaseException as error:  # noqa: BLE001
+                        envelope = {
+                            "ok": False,
+                            "error_type": type(error).__name__,
+                            "message": str(error),
+                            "traceback": "",
+                            "wall_time": 0.0,
+                        }
+                    if envelope["ok"]:
+                        outcomes[spec.content_hash()] = \
+                            self._finish_success(spec, envelope,
+                                                 attempt)
+                        continue
+                    failures.append(
+                        self._attempt_failure(envelope, attempt))
+                    if self.retry.should_retry(attempt):
+                        delay = self.retry.delay(attempt)
+                        self.metrics.retries += 1
+                        self.reporter.on_retry(spec, attempt, delay,
+                                               failures[-1].brief())
+                        retry_at.append((time.monotonic() + delay,
+                                         spec, attempt + 1, failures))
+                    else:
+                        outcomes[spec.content_hash()] = \
+                            self._finish_failure(spec, failures)
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def _new_executor(self, width: int):
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=max(1, min(self.jobs, width)))

@@ -1,0 +1,152 @@
+"""Sweep progress metrics and pluggable reporters.
+
+The pool drives a :class:`Reporter` through the life of a sweep:
+``on_start`` with the job count, ``on_job_start`` / ``on_job_done``
+per job, ``on_retry`` per backoff, ``on_finish`` with the final
+:class:`RunnerMetrics`.  The default :class:`NullReporter` is silent
+(library use); :class:`ConsoleReporter` prints one line per event (the
+``repro bench`` CLI).  Anything else -- a JSONL emitter, a dashboard
+pusher -- subclasses :class:`Reporter` and overrides what it needs.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.runner.specs import RunSpec
+
+
+@dataclass
+class RunnerMetrics:
+    """Counters for one sweep: queue state, cache traffic, job times."""
+
+    queued: int = 0
+    running: int = 0
+    done: int = 0
+    failed: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    job_wall_times: list = field(default_factory=list)
+    started_at: float = field(default_factory=time.perf_counter)
+
+    @property
+    def total(self) -> int:
+        """Jobs in the sweep (finished or not)."""
+        return self.queued + self.running + self.done + self.failed
+
+    @property
+    def finished(self) -> int:
+        """Jobs that reached a terminal state."""
+        return self.done + self.failed
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of jobs served straight from the result cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the sweep started."""
+        return time.perf_counter() - self.started_at
+
+    def snapshot(self) -> dict:
+        """Point-in-time counter dump (JSON-ready)."""
+        times = self.job_wall_times
+        return {
+            "queued": self.queued,
+            "running": self.running,
+            "done": self.done,
+            "failed": self.failed,
+            "retries": self.retries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "elapsed_seconds": self.elapsed,
+            "mean_job_seconds":
+                sum(times) / len(times) if times else 0.0,
+            "max_job_seconds": max(times) if times else 0.0,
+        }
+
+    def summary(self) -> str:
+        """One-line human summary for the end of a sweep."""
+        times = self.job_wall_times
+        mean = sum(times) / len(times) if times else 0.0
+        parts = [
+            f"{self.done} done",
+            f"{self.failed} failed" if self.failed else None,
+            f"{self.retries} retries" if self.retries else None,
+            f"cache {self.cache_hits}/{self.cache_hits + self.cache_misses} "
+            f"({100.0 * self.cache_hit_rate:.0f}% hits)",
+            f"{mean:.2f}s/job" if times else None,
+            f"{self.elapsed:.2f}s wall",
+        ]
+        return ", ".join(part for part in parts if part)
+
+
+class Reporter:
+    """Sweep event sink; every hook is optional."""
+
+    def on_start(self, total_jobs: int) -> None:
+        """A sweep of ``total_jobs`` deduplicated jobs is starting."""
+
+    def on_job_start(self, spec: RunSpec, attempt: int) -> None:
+        """One job attempt was submitted to a worker."""
+
+    def on_job_done(self, spec: RunSpec, *, from_cache: bool,
+                    wall_time: float, metrics: RunnerMetrics) -> None:
+        """One job finished successfully."""
+
+    def on_retry(self, spec: RunSpec, attempt: int, delay: float,
+                 error: str) -> None:
+        """One job attempt failed; a retry is scheduled."""
+
+    def on_job_failed(self, spec: RunSpec, error: str,
+                      metrics: RunnerMetrics) -> None:
+        """One job exhausted its retry budget."""
+
+    def on_finish(self, metrics: RunnerMetrics) -> None:
+        """The sweep completed (possibly with failures)."""
+
+
+class NullReporter(Reporter):
+    """Silent reporter (the library default)."""
+
+
+class ConsoleReporter(Reporter):
+    """Line-per-event progress on a stream (the CLI default)."""
+
+    def __init__(self, stream=None, verbose: bool = True) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.verbose = verbose
+        self._total = 0
+
+    def _emit(self, text: str) -> None:
+        print(text, file=self.stream, flush=True)
+
+    def on_start(self, total_jobs: int) -> None:
+        self._total = total_jobs
+        self._emit(f"runner: {total_jobs} job(s) queued")
+
+    def on_job_done(self, spec: RunSpec, *, from_cache: bool,
+                    wall_time: float, metrics: RunnerMetrics) -> None:
+        if not self.verbose:
+            return
+        source = "cache" if from_cache else f"{wall_time:.2f}s"
+        self._emit(f"  [{metrics.finished}/{self._total}] "
+                   f"{spec.label()}  ({source})")
+
+    def on_retry(self, spec: RunSpec, attempt: int, delay: float,
+                 error: str) -> None:
+        self._emit(f"  retry {spec.label()} (attempt {attempt} "
+                   f"failed: {error}; backing off {delay:.2f}s)")
+
+    def on_job_failed(self, spec: RunSpec, error: str,
+                      metrics: RunnerMetrics) -> None:
+        self._emit(f"  FAILED {spec.label()}: {error}")
+
+    def on_finish(self, metrics: RunnerMetrics) -> None:
+        self._emit(f"runner: {metrics.summary()}")

@@ -1,0 +1,84 @@
+"""Retry policy and structured failure records.
+
+A transient failure (worker crash, timeout, flaky host) should cost a
+sweep one job's worth of retries, not the whole run.  The pool retries
+each failed job under a :class:`RetryPolicy` -- bounded attempts with
+exponential backoff -- and when the budget is exhausted it emits a
+:class:`FailureRecord`: the spec, every attempt's error, and the final
+traceback, preserved as data so a 200-job sweep can finish and report
+"3 jobs failed, here is exactly how" instead of dying on the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runner.specs import RunSpec
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff.
+
+    ``max_attempts`` counts the first try: 3 means one try plus two
+    retries.  The delay before retry *n* (1-based) is
+    ``backoff_base * backoff_factor ** (n - 1)``, capped at
+    ``backoff_max`` seconds.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+
+    def delay(self, retry_index: int) -> float:
+        """Backoff before the ``retry_index``-th retry (1-based)."""
+        return min(self.backoff_max,
+                   self.backoff_base *
+                   self.backoff_factor ** (retry_index - 1))
+
+    def should_retry(self, attempts_made: int) -> bool:
+        """Whether another attempt fits the budget."""
+        return attempts_made < self.max_attempts
+
+
+@dataclass(frozen=True)
+class AttemptFailure:
+    """One failed attempt of one job."""
+
+    attempt: int
+    error_type: str
+    message: str
+    traceback: str = ""
+    wall_time: float = 0.0
+
+    def brief(self) -> str:
+        """One-line description of the attempt."""
+        return (f"attempt {self.attempt}: {self.error_type}: "
+                f"{self.message}")
+
+
+@dataclass
+class FailureRecord:
+    """Terminal failure of one job after its retry budget ran out."""
+
+    spec: RunSpec
+    attempts: list[AttemptFailure] = field(default_factory=list)
+
+    @property
+    def last(self) -> AttemptFailure:
+        """The attempt that exhausted the budget."""
+        return self.attempts[-1]
+
+    @property
+    def error_type(self) -> str:
+        """Error class name of the final attempt."""
+        return self.last.error_type
+
+    def summary(self) -> str:
+        """Multi-line report: the job, then every attempt."""
+        lines = [f"{self.spec.label()} failed after "
+                 f"{len(self.attempts)} attempt(s):"]
+        lines.extend(f"  {attempt.brief()}"
+                     for attempt in self.attempts)
+        return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""End-to-end smoke tests for ``python -m repro bench``.
+
+These drive the real CLI in a subprocess -- argument parsing, the
+runner pool, the on-disk cache and the figure renderers together --
+on one tiny workload, and check the acceptance properties: a second
+invocation is served entirely from cache and reproduces identical
+numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def run_cli(*argv, cwd, cache_dir=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if cache_dir is not None:
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=cwd, env=env, capture_output=True, text=True, timeout=300)
+
+
+def figure_lines(stdout: str) -> list[str]:
+    """The rendered tables, minus timing-dependent runner chatter."""
+    return [line for line in stdout.splitlines()
+            if line.strip() and not line.startswith("runner:")]
+
+
+def test_bench_list(tmp_path):
+    result = run_cli("bench", "--list", cwd=tmp_path)
+    assert result.returncode == 0, result.stderr
+    for name in ("fig06", "fig07", "fig10", "fig11"):
+        assert name in result.stdout
+
+
+def test_bench_rejects_unknown_figure(tmp_path):
+    result = run_cli("bench", "fig99", cwd=tmp_path)
+    assert result.returncode == 2
+    assert "unknown figure" in result.stderr
+
+
+def test_bench_rejects_unknown_app(tmp_path):
+    result = run_cli("bench", "fig10", "--apps", "doom",
+                     cwd=tmp_path)
+    assert result.returncode == 2
+    assert "unknown app" in result.stderr
+
+
+@pytest.mark.slow
+def test_bench_end_to_end_cached_rerun(tmp_path):
+    cache_dir = tmp_path / "cache"
+    args = ("bench", "fig10", "fig11", "--apps", "fft",
+            "--scale", "0.05", "--jobs", "2")
+    first = run_cli(*args, cwd=tmp_path, cache_dir=cache_dir)
+    assert first.returncode == 0, first.stderr
+    assert "Figure 10" in first.stdout
+    assert "Figure 11" in first.stdout
+    assert "all replays verified deterministic" in first.stdout
+    assert cache_dir.is_dir()
+
+    second = run_cli(*args, cwd=tmp_path, cache_dir=cache_dir)
+    assert second.returncode == 0, second.stderr
+    # 100% cache hits...
+    assert "(100% hits)" in second.stdout
+    # ...and byte-identical numbers.
+    assert figure_lines(second.stdout) == figure_lines(first.stdout)
+
+
+@pytest.mark.slow
+def test_bench_no_cache_leaves_no_artifacts(tmp_path):
+    cache_dir = tmp_path / "cache"
+    result = run_cli("bench", "fig10", "--apps", "fft", "--scale",
+                     "0.05", "--no-cache", "--quiet",
+                     cwd=tmp_path, cache_dir=cache_dir)
+    assert result.returncode == 0, result.stderr
+    assert not cache_dir.exists()
+    assert "(0% hits)" in result.stdout
+
+
+@pytest.mark.slow
+def test_modes_uses_pool_and_cache(tmp_path):
+    cache_dir = tmp_path / "cache"
+    args = ("modes", "fft", "--scale", "0.05", "--jobs", "2")
+    first = run_cli(*args, cwd=tmp_path, cache_dir=cache_dir)
+    assert first.returncode == 0, first.stderr
+    assert "Execution-mode comparison on fft" in first.stdout
+    second = run_cli(*args, cwd=tmp_path, cache_dir=cache_dir)
+    assert second.returncode == 0, second.stderr
+    assert "(100% hits)" in second.stderr   # progress goes to stderr
+    assert figure_lines(second.stdout) == figure_lines(first.stdout)

@@ -1,0 +1,435 @@
+"""Tests for the repro.runner execution engine.
+
+Covers the canonical spec hashing (including stability across
+interpreter processes), the content-addressed cache round-trip and its
+determinism guard, the pool's timeout -> retry -> structured-failure
+path, worker-crash recovery, and the wave scheduling that lets a
+replay job reuse its cached recording.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import ConsistencyModel
+from repro.core.modes import ExecutionMode
+from repro.errors import ConfigurationError
+from repro.runner import (
+    ResultCache,
+    Runner,
+    RunnerError,
+    RunSpec,
+    execute_spec,
+)
+from repro.runner.cache import encode_artifact
+from repro.runner.figures import resolve_figures, specs_for
+from repro.runner.jobs import (
+    recording_from_artifact,
+    result_from_artifact,
+)
+from repro.runner.reporting import Reporter
+from repro.runner.retry import RetryPolicy
+
+SCALE = 0.05
+SEED = 3
+
+
+def record_spec(app="fft", mode=ExecutionMode.ORDER_ONLY, **kwargs):
+    kwargs.setdefault("scale", SCALE)
+    kwargs.setdefault("seed", SEED)
+    return RunSpec.record(app, mode, **kwargs)
+
+
+def fresh_cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache", salt="test-salt")
+
+
+# -- specs ------------------------------------------------------------
+
+
+class TestRunSpec:
+    def test_equal_specs_equal_hash(self):
+        assert record_spec().content_hash() == \
+            record_spec().content_hash()
+
+    def test_any_field_changes_hash(self):
+        base = record_spec()
+        variants = [
+            record_spec(app="lu"),
+            record_spec(mode=ExecutionMode.PICOLOG),
+            record_spec(chunk_size=1000),
+            record_spec(scale=0.06),
+            record_spec(seed=4),
+            record_spec(num_threads=4),
+            record_spec(simultaneous=4),
+        ]
+        hashes = {spec.content_hash() for spec in variants}
+        assert base.content_hash() not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_machine_override_order_is_canonical(self):
+        one = RunSpec(kind="record", app="fft", mode="order_only",
+                      machine_overrides=(("num_processors", 4),
+                                         ("simultaneous_chunks", 4)))
+        two = RunSpec(kind="record", app="fft", mode="order_only",
+                      machine_overrides=(("simultaneous_chunks", 4),
+                                         ("num_processors", 4)))
+        assert one.content_hash() == two.content_hash()
+
+    def test_canonical_includes_full_machine_config(self):
+        canonical = record_spec(num_threads=4).canonical()
+        assert canonical["machine"]["num_processors"] == 4
+        # Defaults are resolved in, so changing a default in code
+        # invalidates cached artifacts automatically.
+        assert "standard_chunk_size" in canonical["machine"]
+
+    def test_replay_depends_on_its_record(self):
+        replay = RunSpec.replay("fft", ExecutionMode.ORDER_ONLY,
+                                scale=SCALE, seed=SEED)
+        (dependency,) = replay.dependencies()
+        assert dependency == record_spec()
+        assert record_spec().dependencies() == ()
+
+    def test_replay_default_perturb_seed_derives_from_seed(self):
+        replay = RunSpec.replay("fft", ExecutionMode.ORDER_ONLY,
+                                seed=11)
+        assert replay.perturb_seed == 11 * 13 + 7
+
+    def test_kind_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(kind="bogus", app="fft")
+        with pytest.raises(ConfigurationError):
+            RunSpec(kind="record", app="fft")   # mode missing
+        with pytest.raises(ConfigurationError):
+            RunSpec(kind="consistency", app="fft")  # model missing
+
+    def test_hash_stable_across_processes(self):
+        spec = record_spec()
+        code = (
+            "from repro.runner import RunSpec\n"
+            "from repro.core.modes import ExecutionMode\n"
+            f"spec = RunSpec.record('fft', ExecutionMode.ORDER_ONLY, "
+            f"scale={SCALE!r}, seed={SEED})\n"
+            "print(spec.content_hash())\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", code], env=env, check=True,
+                capture_output=True, text=True).stdout.strip()
+            for _ in range(2)
+        }
+        assert outputs == {spec.content_hash()}
+
+
+# -- cache ------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_miss_store_hit_round_trip(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        spec = record_spec()
+        assert cache.load(spec) is None
+        artifact = execute_spec(spec)
+        path = cache.store(spec, artifact)
+        assert path.is_file()
+        loaded = cache.load(spec)
+        assert loaded == artifact
+        assert cache.counters() == {"hits": 1, "misses": 1,
+                                    "stores": 1}
+        assert cache.hit_rate == 0.5
+
+    def test_corrupt_artifact_is_dropped(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        spec = record_spec()
+        path = cache.path_for(spec)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.load(spec) is None
+        assert not path.exists()
+
+    def test_foreign_artifact_is_rejected(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        spec = record_spec()
+        path = cache.path_for(spec)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"spec_hash": "somebody-else"}))
+        assert cache.load(spec) is None
+
+    def test_salt_partitions_namespaces(self, tmp_path):
+        spec = record_spec()
+        artifact = execute_spec(spec)
+        old = ResultCache(tmp_path / "cache", salt="code-v1")
+        old.store(spec, artifact)
+        new = ResultCache(tmp_path / "cache", salt="code-v2")
+        assert new.load(spec) is None   # code changed: no stale hits
+
+    def test_same_spec_yields_byte_identical_artifacts(self):
+        # The determinism guard: same spec hash => byte-identical
+        # artifact, for every job kind.
+        specs = [
+            record_spec(),
+            RunSpec.replay("fft", ExecutionMode.ORDER_ONLY,
+                           scale=SCALE, seed=SEED),
+            RunSpec.consistency("fft", ConsistencyModel.SC,
+                                scale=SCALE, seed=SEED),
+        ]
+        for spec in specs:
+            first = encode_artifact(execute_spec(spec))
+            second = encode_artifact(execute_spec(spec))
+            assert first == second, spec.label()
+
+
+# -- jobs -------------------------------------------------------------
+
+
+class TestJobs:
+    def test_record_artifact_materializes_recording(self):
+        artifact = execute_spec(record_spec())
+        recording = recording_from_artifact(artifact)
+        assert recording.stats.cycles == \
+            artifact["metrics"]["cycles"]
+        # Fresh object per materialization: no shared mutable state.
+        assert recording is not recording_from_artifact(artifact)
+
+    def test_replay_artifact_materializes_result(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        spec = RunSpec.replay("fft", ExecutionMode.ORDER_ONLY,
+                              scale=SCALE, seed=SEED)
+        artifact = execute_spec(spec, cache)
+        result = result_from_artifact(artifact)
+        assert result.determinism.matches
+        assert artifact["metrics"]["matches"] is True
+        # The record dependency went through the cache.
+        assert cache.load(spec.record_spec()) is not None
+
+    def test_consistency_artifact(self):
+        spec = RunSpec.consistency("fft", ConsistencyModel.RC,
+                                   scale=SCALE, seed=SEED)
+        artifact = execute_spec(spec)
+        assert artifact["metrics"]["cycles"] > 0
+        assert artifact["metrics"]["trace_length"] == 0  # no trace
+
+
+# -- runner: success paths -------------------------------------------
+
+
+class _Events(Reporter):
+    def __init__(self):
+        self.started = 0
+        self.done = []
+        self.retries = []
+        self.failed = []
+        self.finished = None
+
+    def on_start(self, total_jobs):
+        self.started = total_jobs
+
+    def on_job_done(self, spec, *, from_cache, wall_time, metrics):
+        self.done.append((spec.label(), from_cache))
+
+    def on_retry(self, spec, attempt, delay, error):
+        self.retries.append((spec.label(), attempt, error))
+
+    def on_job_failed(self, spec, error, metrics):
+        self.failed.append((spec.label(), error))
+
+    def on_finish(self, metrics):
+        self.finished = metrics.snapshot()
+
+
+class TestRunnerSuccess:
+    def test_inline_run_and_cache_hit(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        events = _Events()
+        runner = Runner(jobs=1, cache=cache, reporter=events)
+        spec = record_spec()
+        first = runner.run_one(spec)
+        assert runner.metrics.cache_hits == 0
+        again = Runner(jobs=1, cache=cache).run_one(spec)
+        assert encode_artifact(first) == encode_artifact(again)
+        assert events.finished["done"] == 1
+
+    def test_dedupes_requested_specs(self, tmp_path):
+        runner = Runner(jobs=1, cache=fresh_cache(tmp_path))
+        outcomes = runner.run([record_spec(), record_spec()])
+        assert len(outcomes) == 1
+        assert runner.metrics.done == 1
+
+    def test_pool_runs_sweep(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        runner = Runner(jobs=2, cache=cache)
+        specs = [record_spec(app=app) for app in ("fft", "lu")]
+        outcomes = runner.run(specs)
+        assert all(outcome.ok for outcome in outcomes)
+        assert runner.metrics.done == 2
+        # Second sweep: pure cache.
+        rerun = Runner(jobs=2, cache=fresh_cache(tmp_path))
+        rerun_outcomes = rerun.run(specs)
+        assert all(outcome.from_cache for outcome in rerun_outcomes)
+        assert rerun.metrics.cache_hit_rate == 1.0
+
+    def test_replay_wave_reuses_cached_record(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        runner = Runner(jobs=2, cache=cache)
+        replays = [
+            RunSpec.replay("fft", ExecutionMode.ORDER_ONLY,
+                           scale=SCALE, seed=SEED),
+            RunSpec.replay("fft", ExecutionMode.ORDER_ONLY,
+                           use_strata=True, scale=SCALE, seed=SEED),
+        ]
+        outcomes = runner.run(replays)
+        assert all(outcome.ok for outcome in outcomes)
+        # The shared record dependency ran as its own (cached) job.
+        assert cache.load(replays[0].record_spec()) is not None
+        # 2 replays + 1 injected dependency.
+        assert runner.metrics.done == 3
+
+
+# -- runner: failure paths -------------------------------------------
+
+_COUNTER = "attempts.count"
+
+
+def _tally(cache) -> int:
+    # The runner always passes a ResultCache when caching is on; its
+    # root directory doubles as scratch space for these fault jobs.
+    counter = Path(str(cache.root)) / _COUNTER
+    counter.parent.mkdir(parents=True, exist_ok=True)
+    with open(counter, "a") as handle:
+        handle.write("x")
+    return counter.stat().st_size
+
+
+def _always_failing_job(spec, cache):
+    raise RuntimeError("synthetic job failure")
+
+
+def _sleepy_job(spec, cache):
+    time.sleep(30)
+    return {"never": "returned"}
+
+
+def _flaky_job(spec, cache):
+    if _tally(cache) < 2:
+        raise RuntimeError("transient flake")
+    return {"schema": 1, "kind": spec.kind, "spec": spec.canonical(),
+            "spec_hash": spec.content_hash(), "metrics": {"ok": 1}}
+
+
+def _crashy_job(spec, cache):
+    if _tally(cache) < 2:
+        os._exit(13)   # hard worker death: exercises pool rebuild
+    return {"schema": 1, "kind": spec.kind, "spec": spec.canonical(),
+            "spec_hash": spec.content_hash(), "metrics": {"ok": 1}}
+
+
+FAST_RETRY = RetryPolicy(max_attempts=2, backoff_base=0.01,
+                         backoff_max=0.01)
+
+
+class TestRunnerFailure:
+    def test_exception_retries_then_structured_failure(self, tmp_path):
+        events = _Events()
+        runner = Runner(jobs=1, cache=fresh_cache(tmp_path),
+                        retry=FAST_RETRY, reporter=events,
+                        job_fn=_always_failing_job)
+        outcome = runner.run([record_spec()])[0]
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        record = outcome.failure
+        assert record.error_type == "RuntimeError"
+        assert [a.attempt for a in record.attempts] == [1, 2]
+        assert "synthetic job failure" in record.summary()
+        assert events.retries and events.failed
+        assert runner.metrics.failed == 1
+
+    def test_run_one_raises_runner_error(self, tmp_path):
+        runner = Runner(jobs=1, cache=fresh_cache(tmp_path),
+                        retry=RetryPolicy(max_attempts=1),
+                        job_fn=_always_failing_job)
+        with pytest.raises(RunnerError, match="synthetic"):
+            runner.run_one(record_spec())
+
+    @pytest.mark.skipif(not hasattr(__import__("signal"), "SIGALRM"),
+                        reason="needs SIGALRM")
+    def test_timeout_retries_then_structured_failure(self, tmp_path):
+        events = _Events()
+        runner = Runner(jobs=1, cache=fresh_cache(tmp_path),
+                        timeout=0.2, retry=FAST_RETRY,
+                        reporter=events, job_fn=_sleepy_job)
+        started = time.perf_counter()
+        outcome = runner.run([record_spec()])[0]
+        assert time.perf_counter() - started < 10
+        assert not outcome.ok
+        assert outcome.failure.error_type == "JobTimeout"
+        assert "0.2s budget" in outcome.failure.last.message
+        assert len(outcome.failure.attempts) == 2
+
+    def test_flaky_job_recovers_on_retry(self, tmp_path):
+        runner = Runner(jobs=1, cache=fresh_cache(tmp_path),
+                        retry=FAST_RETRY, job_fn=_flaky_job)
+        outcome = runner.run([record_spec()])[0]
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert runner.metrics.retries == 1
+
+    def test_crashed_worker_does_not_kill_the_sweep(self, tmp_path):
+        # One job hard-kills its worker once; the pool is rebuilt, the
+        # job retried, and an innocent sibling job still completes.
+        runner = Runner(jobs=2, cache=fresh_cache(tmp_path),
+                        retry=RetryPolicy(max_attempts=3,
+                                          backoff_base=0.01,
+                                          backoff_max=0.01),
+                        job_fn=_crashy_job)
+        outcomes = runner.run([record_spec(app="fft"),
+                               record_spec(app="lu")])
+        assert all(outcome.ok for outcome in outcomes)
+        assert any(outcome.attempts > 1 for outcome in outcomes)
+
+    def test_failure_degrades_sweep_not_kills_it(self, tmp_path):
+        # A sweep mixing a doomed job with good ones finishes, with
+        # the failure reported alongside the successes.
+        cache = fresh_cache(tmp_path)
+        good = record_spec()
+        cache.store(good, execute_spec(good))
+        runner = Runner(jobs=1, cache=cache, retry=FAST_RETRY,
+                        job_fn=_always_failing_job)
+        outcomes = runner.run([good, record_spec(app="lu")])
+        assert outcomes[0].ok and outcomes[0].from_cache
+        assert not outcomes[1].ok
+        assert runner.metrics.done == 1
+        assert runner.metrics.failed == 1
+
+
+# -- figures ----------------------------------------------------------
+
+
+class TestFigures:
+    def test_specs_for_dedupes_shared_runs(self):
+        figures = resolve_figures(["fig10", "fig11"])
+        apps = ("fft", "lu")
+        union = specs_for(figures, apps=apps, scale=SCALE, seed=SEED)
+        separate = sum(len(fig.specs(apps, SCALE, SEED))
+                       for fig in figures)
+        assert len(union) < separate   # RC baselines shared
+        assert len({spec.content_hash() for spec in union}) == \
+            len(union)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown figure"):
+            resolve_figures(["fig99"])
+
+    def test_default_resolves_all(self):
+        assert {fig.name for fig in resolve_figures([])} >= \
+            {"fig06", "fig07", "fig10", "fig11"}
