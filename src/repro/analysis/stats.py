@@ -87,6 +87,47 @@ class RunStats:
             return 0.0
         return baseline.cycles / self.cycles
 
+    def as_dict(self) -> dict:
+        """JSON-ready dump of every field (schema: docs/INTERNALS.md).
+
+        Round-trips exactly through :meth:`from_dict`.  Processor keys
+        become strings (JSON object keys); derived properties (``ipc``
+        and friends) are intentionally omitted -- recompute them from
+        the fields.
+        """
+        return {
+            "cycles": self.cycles,
+            "total_committed_instructions":
+                self.total_committed_instructions,
+            "total_committed_chunks": self.total_committed_chunks,
+            "total_squashes": self.total_squashes,
+            "total_squashed_instructions":
+                self.total_squashed_instructions,
+            "overflow_truncations": self.overflow_truncations,
+            "collision_truncations": self.collision_truncations,
+            "io_truncations": self.io_truncations,
+            "handler_chunks": self.handler_chunks,
+            "dma_commits": self.dma_commits,
+            "stall_cycles_total": self.stall_cycles_total,
+            "per_processor": {
+                str(proc): stats.as_dict()
+                for proc, stats in self.per_processor.items()},
+            "token_summary": dict(self.token_summary),
+            "traffic": dict(self.traffic),
+            "commit_parallelism_samples":
+                list(self.commit_parallelism_samples),
+            "ready_procs_samples": list(self.ready_procs_samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunStats":
+        """Inverse of :meth:`as_dict`."""
+        fields = dict(data)
+        fields["per_processor"] = {
+            int(proc): ProcessorStats.from_dict(stats)
+            for proc, stats in data.get("per_processor", {}).items()}
+        return cls(**fields)
+
     def merge_processor(self, proc_id: int, stats: ProcessorStats) -> None:
         """Fold one processor's counters into the totals."""
         self.per_processor[proc_id] = stats

@@ -45,6 +45,7 @@ from repro.machine.program import (
     compute_mix,
 )
 from repro.machine.timing import MachineConfig
+from repro.telemetry.tracer import NULL_TRACER
 
 _STAGE_START = 0
 _STAGE_BARRIER_WAIT = 1
@@ -68,6 +69,27 @@ class ProcessorStats:
     stall_cycles: float = 0.0
     spin_instructions: int = 0
 
+    def as_dict(self) -> dict:
+        """Flat JSON-ready counter dump (see docs/INTERNALS.md)."""
+        return {
+            "chunks_committed": self.chunks_committed,
+            "instructions_committed": self.instructions_committed,
+            "boundary_ops_committed": self.boundary_ops_committed,
+            "squashes": self.squashes,
+            "squashed_instructions": self.squashed_instructions,
+            "overflow_truncations": self.overflow_truncations,
+            "collision_truncations": self.collision_truncations,
+            "io_truncations": self.io_truncations,
+            "handler_chunks": self.handler_chunks,
+            "stall_cycles": self.stall_cycles,
+            "spin_instructions": self.spin_instructions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProcessorStats":
+        """Inverse of :meth:`as_dict`."""
+        return cls(**data)
+
 
 class ChunkProcessor:
     """One simulated core executing its thread as a chunk stream."""
@@ -78,11 +100,14 @@ class ChunkProcessor:
         ops: list[Op],
         config: MachineConfig,
         cache: SpeculativeCache,
+        tracer=None,
     ) -> None:
         self.proc_id = proc_id
         self.ops = ops
         self.config = config
         self.cache = cache
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._m_squashes = self.tracer.metrics.counter("squashes")
         self.spec_state = ThreadState(thread_id=proc_id)
         if not ops:
             self.spec_state.finished = True
@@ -518,12 +543,15 @@ class ChunkProcessor:
         if self._current_op(state) is None:
             state.finished = True
 
-    def squash_from(self, index: int, now: float) -> list[Chunk]:
+    def squash_from(self, index: int, now: float,
+                    cause: str = "") -> list[Chunk]:
         """Squash outstanding chunks ``index`` onward; roll back state.
 
         Returns the squashed chunks (newest last) so the machine can
         cancel their in-flight events.  Interrupt handlers whose
         initiating chunk was squashed are re-queued for re-injection.
+        ``cause`` tags the telemetry events (``collision:pN``,
+        ``interrupt``, ...); it has no architectural effect.
         """
         victims = self.outstanding[index:]
         if not victims:
@@ -535,6 +563,14 @@ class ChunkProcessor:
             chunk.squash_count += 1
             self.stats.squashes += 1
             self.stats.squashed_instructions += chunk.instructions
+            self._m_squashes.inc()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    f"p{self.proc_id}", f"squash c{chunk.logical_seq}",
+                    now, category="squash", seq=chunk.logical_seq,
+                    piece=chunk.piece_index,
+                    instructions=chunk.instructions,
+                    cause=cause or "unknown")
             count = self._squash_counts.get(chunk.logical_seq, 0)
             self._squash_counts[chunk.logical_seq] = count + 1
             if chunk.is_handler and chunk.piece_index == 0:
@@ -553,6 +589,7 @@ class ChunkProcessor:
         self,
         committing: Chunk,
         now: float,
+        cause: str = "",
     ) -> list[Chunk]:
         """Squash from the oldest outstanding chunk that (signature-)
         conflicts with a remote committing chunk."""
@@ -560,7 +597,7 @@ class ChunkProcessor:
             if chunk.state is ChunkState.COMMITTING:
                 continue
             if chunk.conflicts_with_commit(committing):
-                return self.squash_from(index, now)
+                return self.squash_from(index, now, cause=cause)
         return []
 
     def receive_interrupt(self, event: InterruptEvent, now: float) -> \
@@ -574,7 +611,7 @@ class ChunkProcessor:
             return []
         for index, chunk in enumerate(self.outstanding):
             if chunk.state is not ChunkState.COMMITTING:
-                return self.squash_from(index, now)
+                return self.squash_from(index, now, cause="interrupt")
         return []
 
     def committed_fingerprint_state(self) -> tuple:

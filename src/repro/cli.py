@@ -17,6 +17,7 @@ and sweb2005.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -39,6 +40,14 @@ from repro.runner import (
     ResultCache,
     Runner,
     RunSpec,
+    reporter_from_option,
+)
+from repro.telemetry import (
+    EventTracer,
+    chrome_trace,
+    commit_spans_per_track,
+    diagnose_replay,
+    write_events_jsonl,
 )
 from repro.runner.figures import (
     DEFAULT_APPS,
@@ -128,6 +137,87 @@ def _cmd_replay(args) -> int:
     return 0 if result.determinism.matches else 1
 
 
+def _mode_from_spelling(text: str) -> str:
+    """Resolve a --mode spelling to its canonical label.
+
+    Tolerant of separators: ``orderonly``, ``order_only`` and
+    ``order-only`` all name the same mode.
+    """
+    key = text.lower().replace("-", "").replace("_", "")
+    for label in _MODES:
+        if label.replace("-", "") == key:
+            return label
+    raise ReproError(f"unknown mode {text!r} (expected one of: "
+                     + ", ".join(sorted(_MODES)) + ")")
+
+
+def _cmd_trace(args) -> int:
+    label = _mode_from_spelling(args.mode)
+    system = DeLoreanSystem(mode=_MODES[label],
+                            chunk_size=args.chunk_size)
+    record_tracer = (EventTracer()
+                     if args.phase in ("record", "both") else None)
+    recording = system.record(_program_for(args), tracer=record_tracer)
+    tracer = record_tracer
+    status = 0
+    if args.phase in ("replay", "both"):
+        replay_tracer = EventTracer()
+        report = diagnose_replay(recording, tracer=replay_tracer)
+        if report.diverged:
+            print(report.render(), file=sys.stderr)
+            status = 1
+        else:
+            print("replay verified: deterministic")
+        if args.phase == "replay":
+            tracer = replay_tracer
+    stats = recording.stats
+    document = chrome_trace(
+        tracer.events,
+        process_name=f"repro {args.workload} ({label})",
+        metadata={
+            "app": args.workload,
+            "mode": label,
+            "phase": args.phase,
+            "scale": args.scale,
+            "seed": args.seed,
+            "run_stats": stats.as_dict(),
+        })
+    print(f"captured {len(tracer.events)} events on "
+          f"{len(tracer.tracks())} tracks")
+    if args.phase in ("record", "both"):
+        # The artifact's acceptance invariant: per-processor commit
+        # spans in the timeline equal the run's RunStats.
+        spans = commit_spans_per_track(document)
+        bad = sorted(
+            proc for proc, pstats in stats.per_processor.items()
+            if spans.get(f"p{proc}", 0) != pstats.chunks_committed)
+        if bad:
+            print(f"WARNING: trace commit spans disagree with "
+                  f"RunStats on processor(s) {bad}", file=sys.stderr)
+            status = status or 1
+        else:
+            total = sum(p.chunks_committed
+                        for p in stats.per_processor.values())
+            print(f"trace matches RunStats: {total} committed chunks "
+                  f"across {len(stats.per_processor)} processors")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, separators=(",", ":"))
+            handle.write("\n")
+        print(f"wrote Chrome-trace JSON to {args.out} "
+              f"(load it in ui.perfetto.dev)")
+    if args.events:
+        write_events_jsonl(tracer.events, args.events)
+        print(f"wrote event stream to {args.events}")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(tracer.metrics.as_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote metrics to {args.metrics}")
+    return status
+
+
 def _cmd_inspect(args) -> int:
     recording = _load(args.recording)
     print(describe_recording(recording))
@@ -190,12 +280,18 @@ def _cmd_races(args) -> int:
 
 def _make_runner(args, verbose: bool = True) -> Runner:
     """A Runner configured from the shared --jobs/--no-cache/--timeout
-    options."""
+    (and, where offered, --report) options."""
+    try:
+        reporter = reporter_from_option(
+            getattr(args, "report", None),
+            ConsoleReporter(verbose=verbose and args.jobs > 1))
+    except ValueError as error:
+        raise ReproError(str(error)) from None
     return Runner(
         jobs=max(1, args.jobs),
         cache=False if args.no_cache else ResultCache(),
         timeout=getattr(args, "timeout", None),
-        reporter=ConsoleReporter(verbose=verbose and args.jobs > 1),
+        reporter=reporter,
     )
 
 
@@ -304,6 +400,34 @@ def build_parser() -> argparse.ArgumentParser:
                              "checkpoint at or before commit N")
     replay.set_defaults(func=_cmd_replay)
 
+    trace = sub.add_parser(
+        "trace",
+        help="record (and optionally replay) a workload with the "
+             "event tracer on and export a Perfetto timeline")
+    trace.add_argument("--app", dest="workload", required=True,
+                       choices=workloads, help="workload to trace")
+    trace.add_argument("--mode", default="order-only",
+                       help="execution mode (dashes optional: "
+                            "orderonly == order-only)")
+    trace.add_argument("--scale", type=float, default=0.5,
+                       help="workload scale factor (default 0.5)")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--chunk-size", type=int, default=None)
+    trace.add_argument("--phase", choices=["record", "replay", "both"],
+                       default="record",
+                       help="which phase's timeline to export; replay "
+                            "and both also verify determinism and "
+                            "print forensics on divergence")
+    trace.add_argument("--out", metavar="TRACE.json",
+                       help="write the Chrome-trace/Perfetto JSON "
+                            "here")
+    trace.add_argument("--events", metavar="EVENTS.jsonl",
+                       help="also write the raw event stream as "
+                            "JSONL")
+    trace.add_argument("--metrics", metavar="METRICS.json",
+                       help="also write the flat metrics dump")
+    trace.set_defaults(func=_cmd_trace)
+
     inspect = sub.add_parser("inspect", help="describe a recording")
     inspect.add_argument("recording")
     inspect.add_argument("--timeline", action="store_true")
@@ -317,6 +441,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 1 = serial)")
         p.add_argument("--no-cache", action="store_true",
                        help="bypass the on-disk result cache")
+        p.add_argument("--report", default=None, metavar="REPORTER",
+                       help="progress sink: console (default), null, "
+                            "or jsonl:PATH (one JSON object per "
+                            "sweep event)")
         if timeout:
             p.add_argument("--timeout", type=float, default=None,
                            metavar="SECONDS",

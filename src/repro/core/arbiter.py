@@ -34,6 +34,7 @@ from typing import Callable
 
 from repro.chunks.chunk import Chunk, ChunkState
 from repro.errors import ReplayDivergenceError
+from repro.telemetry.tracer import NULL_TRACER
 
 
 @dataclass
@@ -247,7 +248,9 @@ class PIReplayPolicy:
         """Advance past a DMA entry (the machine applied the DMA)."""
         if not self.next_is_dma():
             raise ReplayDivergenceError(
-                "consume_dma called but the next PI entry is not DMA")
+                "consume_dma called but the next PI entry is not DMA",
+                proc_id=self.dma_proc_id, chunk_index=self.cursor,
+                expected=self.peek(), actual=self.dma_proc_id)
         self.cursor += 1
 
     def select(self, pending: list[Chunk], committing: list[Chunk],
@@ -276,7 +279,9 @@ class PIReplayPolicy:
         if self.peek() != chunk.processor:
             raise ReplayDivergenceError(
                 f"granted processor {chunk.processor} but PI log expects "
-                f"{self.peek()} at position {self.cursor}")
+                f"{self.peek()} at position {self.cursor}",
+                proc_id=chunk.processor, chunk_index=self.cursor,
+                expected=self.peek(), actual=chunk.processor)
         self.cursor += 1
 
     def finish(self) -> None:
@@ -284,7 +289,9 @@ class PIReplayPolicy:
         if self.cursor != len(self.entries):
             raise ReplayDivergenceError(
                 f"replay ended with {len(self.entries) - self.cursor} "
-                f"unconsumed PI entries")
+                f"unconsumed PI entries",
+                proc_id=self.peek(), chunk_index=self.cursor,
+                expected=self.peek())
 
 
 class StrataReplayPolicy:
@@ -321,7 +328,9 @@ class StrataReplayPolicy:
     def consume_dma(self) -> None:
         """Account an applied DMA against the current stratum."""
         if not self.next_is_dma():
-            raise ReplayDivergenceError("no DMA due in the current stratum")
+            raise ReplayDivergenceError(
+                "no DMA due in the current stratum",
+                proc_id=self.dma_slot, chunk_index=self.index)
         self._remaining[self.dma_slot] -= 1
 
     def select(self, pending: list[Chunk], committing: list[Chunk],
@@ -346,7 +355,9 @@ class StrataReplayPolicy:
         if self._remaining[chunk.processor] <= 0:
             raise ReplayDivergenceError(
                 f"processor {chunk.processor} exceeded its quota in "
-                f"stratum {self.index}")
+                f"stratum {self.index}",
+                proc_id=chunk.processor, chunk_index=self.index,
+                expected=0, actual=1)
         self._remaining[chunk.processor] -= 1
 
     def finish(self) -> None:
@@ -355,7 +366,10 @@ class StrataReplayPolicy:
         if self.index < len(self.strata):
             raise ReplayDivergenceError(
                 f"replay ended inside stratum {self.index} of "
-                f"{len(self.strata)}")
+                f"{len(self.strata)}",
+                chunk_index=self.index,
+                expected=tuple(self.strata[self.index]),
+                actual=tuple(self._remaining))
 
 
 class CommitArbiter:
@@ -368,12 +382,15 @@ class CommitArbiter:
         on_grant: Callable[[Chunk, float], None],
         dma_proc_id: int | None = None,
         head_filter: Callable[[Chunk], bool] | None = None,
+        tracer=None,
     ) -> None:
         self.policy = policy
         self.max_concurrent = max_concurrent
         self._on_grant = on_grant
         self.dma_proc_id = dma_proc_id
         self._head_filter = head_filter or (lambda chunk: True)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._m_grants = self.tracer.metrics.counter("arbiter_grants")
         self.pending: list[Chunk] = []
         self.committing: list[Chunk] = []
         self.grant_count = 0
@@ -419,6 +436,23 @@ class CommitArbiter:
             chunk.state = ChunkState.COMMITTING
             chunk.grant_time = now
             self.committing.append(chunk)
+            self._m_grants.inc()
+            if self.tracer.enabled:
+                is_dma = chunk.processor == self.dma_proc_id
+                self.tracer.instant(
+                    "arbiter",
+                    ("grant dma" if is_dma
+                     else f"grant p{chunk.processor}"),
+                    now, category="grant",
+                    proc=("dma" if is_dma else chunk.processor),
+                    seq=chunk.logical_seq, piece=chunk.piece_index,
+                    slot=chunk.grant_slot,
+                    in_flight=len(self.committing))
+                if isinstance(self.policy, RoundRobinPolicy):
+                    self.tracer.instant(
+                        "token", f"token@p{self.policy.pointer}",
+                        now, category="token",
+                        holder=self.policy.pointer)
             if isinstance(self.policy, RoundRobinPolicy):
                 self.policy.stats.parallel_commit_samples.append(
                     len(self.committing))

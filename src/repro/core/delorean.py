@@ -64,14 +64,17 @@ class DeLoreanSystem:
 
     def record(self, program: Program,
                max_events: int | None = None,
-               checkpoint_every: int = 0) -> Recording:
+               checkpoint_every: int = 0,
+               tracer=None) -> Recording:
         """Run the initial execution and capture its logs.
 
         ``checkpoint_every`` takes an interval checkpoint every N
         logical commits (Appendix B / Section 3.3's pairing with
         ReVive/SafetyNet); the checkpoints land on
         ``recording.interval_checkpoints`` and seed
-        :meth:`replay_interval`.
+        :meth:`replay_interval`.  ``tracer`` (an
+        :class:`~repro.telemetry.tracer.EventTracer`) captures the
+        run's timeline and metrics.
         """
         # The machine's standard chunk size follows the mode config.
         machine_config = replace(
@@ -84,6 +87,7 @@ class DeLoreanSystem:
             stochastic_overflow_rate=self.stochastic_overflow_rate,
             max_events=max_events,
             checkpoint_every=checkpoint_every,
+            tracer=tracer,
         )
 
     def replay(
@@ -93,6 +97,7 @@ class DeLoreanSystem:
         use_strata: bool | None = None,
         require_determinism: bool = False,
         max_events: int | None = None,
+        tracer=None,
     ) -> ReplayResult:
         """Deterministically replay a recording.
 
@@ -102,7 +107,8 @@ class DeLoreanSystem:
         replay.  ``use_strata`` replays from the stratified PI log
         instead of the plain one.  With ``require_determinism`` the
         call raises :class:`ReplayDivergenceError` on any mismatch
-        instead of returning a failing report.
+        instead of returning a failing report.  ``tracer`` captures
+        the replay's timeline and metrics.
         """
         result = replay_execution(
             recording,
@@ -111,6 +117,7 @@ class DeLoreanSystem:
             stochastic_overflow_rate=(
                 self.stochastic_overflow_rate if perturbation else 0.0),
             max_events=max_events,
+            tracer=tracer,
         )
         if require_determinism and not result.determinism.matches:
             raise ReplayDivergenceError(result.determinism.summary())

@@ -37,15 +37,17 @@ from repro.core.stratifier import Stratifier
 from repro.analysis.stats import RunStats
 from repro.chunks.signature import Signature
 from repro.machine.timing import MachineConfig
+from repro.telemetry.tracer import NULL_TRACER
 
 
 class Recorder:
     """Log-producing hooks attached to a recording machine."""
 
     def __init__(self, machine_config: MachineConfig,
-                 mode_config: ModeConfig) -> None:
+                 mode_config: ModeConfig, tracer=None) -> None:
         self.machine_config = machine_config
         self.mode_config = mode_config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.pi_log = PILog(machine_config.pi_entry_bits)
         self.cs_logs = {
             proc: ChunkSizeLog(mode_config)
@@ -90,6 +92,10 @@ class Recorder:
                 stratifier.observe(
                     chunk.processor, chunk.read_signature,
                     chunk.write_signature)
+            if self.tracer.enabled:
+                self.tracer.counter(
+                    "log", "pi_bits", chunk.grant_time,
+                    bits=self.pi_log.size_bits)
 
     def on_commit(self, chunk: Chunk) -> None:
         """A chunk commit finalized: size, interrupt and I/O logging."""
@@ -97,6 +103,11 @@ class Recorder:
             size=chunk.instructions,
             truncated=chunk.truncation.is_nondeterministic,
         )
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "log", "cs_bits", chunk.commit_time,
+                bits=sum(log.size_bits
+                         for log in self.cs_logs.values()))
         if chunk.is_handler and chunk.piece_index == 0:
             event = chunk.handler_event
             slot = (chunk.grant_slot

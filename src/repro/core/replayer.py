@@ -139,7 +139,9 @@ class ReplaySource:
             if entry.chunk_id < next_seq:
                 raise ReplayDivergenceError(
                     f"processor {proc} passed interrupt chunkID "
-                    f"{entry.chunk_id} without injecting its handler")
+                    f"{entry.chunk_id} without injecting its handler",
+                    proc_id=proc, chunk_index=entry.chunk_id,
+                    expected=entry.chunk_id, actual=next_seq)
             return None
         self._interrupt_cursor[proc] = cursor + 1
         return InterruptEvent(
@@ -191,7 +193,7 @@ class ReplaySource:
         if log is None or cursor >= len(log.values):
             raise ReplayDivergenceError(
                 f"processor {proc} performed an I/O load with an empty "
-                f"I/O log (port {port})")
+                f"I/O log (port {port})", proc_id=proc)
         self._io_cursor[proc] = cursor + 1
         return log.values[cursor]
 
@@ -205,7 +207,8 @@ class ReplaySource:
         """Consume the next DMA burst's data."""
         if self._dma_cursor >= len(self.recording.dma_log.entries):
             raise ReplayDivergenceError(
-                "DMA commit due but the DMA log is exhausted")
+                "DMA commit due but the DMA log is exhausted",
+                proc_id="dma", chunk_index=self._dma_cursor)
         entry = self.recording.dma_log.entries[self._dma_cursor]
         self._dma_cursor += 1
         return dict(entry.writes)

@@ -23,7 +23,26 @@ class ReplayDivergenceError(ReproError):
     This is the fatal condition a deterministic replayer must never hit;
     it is raised (rather than silently tolerated) so tests can assert
     determinism and users can detect corrupted or mismatched logs.
+
+    Beyond the message, the error carries structured fields for the
+    forensics layer (:mod:`repro.telemetry.forensics`): the diverging
+    processor, the chunk (or log cursor) index, and the expected vs.
+    actual commit record where known.  ``str(e)`` is exactly the
+    message, unchanged from the message-only days.  ``context`` is
+    attached by the replay machine when the error crosses its run loop
+    (a :class:`~repro.telemetry.forensics.DivergenceContext` snapshot
+    of the partial replay).
     """
+
+    def __init__(self, message: str, *, proc_id: int | None = None,
+                 chunk_index: int | None = None, expected=None,
+                 actual=None) -> None:
+        super().__init__(message)
+        self.proc_id = proc_id
+        self.chunk_index = chunk_index
+        self.expected = expected
+        self.actual = actual
+        self.context = None
 
 
 class ExecutionError(ReproError):

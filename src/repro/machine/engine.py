@@ -20,11 +20,17 @@ from repro.errors import DeadlockError
 class EventEngine:
     """Priority-queue event loop with deterministic tie-breaking."""
 
+    #: Every ``dispatch_stride`` dispatches, ``dispatch_hook(now,
+    #: queue_depth, processed)`` is called (telemetry sampling).  The
+    #: hook observes only; it must not schedule or mutate machine state.
+    dispatch_stride = 64
+
     def __init__(self) -> None:
         self._queue: list[tuple[float, int, int, Callable[[], None]]] = []
         self._sequence = 0
         self._now = 0.0
         self._processed = 0
+        self.dispatch_hook: Callable[[float, int, int], None] | None = None
 
     @property
     def now(self) -> float:
@@ -77,6 +83,10 @@ class EventEngine:
             action()
             self._processed += 1
             dispatched += 1
+            if (self.dispatch_hook is not None
+                    and self._processed % self.dispatch_stride == 0):
+                self.dispatch_hook(self._now, len(self._queue),
+                                   self._processed)
             if max_events is not None and dispatched > max_events:
                 raise DeadlockError(
                     f"simulation exceeded {max_events} events at cycle "

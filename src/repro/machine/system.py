@@ -50,12 +50,18 @@ from repro.core.replayer import (
     ReplaySource,
     verify_determinism,
 )
-from repro.errors import ConfigurationError, DeadlockError
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ReplayDivergenceError,
+)
 from repro.machine.engine import EventEngine
 from repro.machine.events import DmaTransfer, IODevice, InterruptEvent
 from repro.machine.memory import MainMemory
 from repro.machine.program import LOCK_SPIN_COST, Program, ThreadState
 from repro.machine.timing import MachineConfig
+from repro.telemetry.forensics import DivergenceContext
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 # Event priorities: commit finalization must run before same-time
 # request arrivals so a doomed chunk is squashed before it is queued.
@@ -115,6 +121,7 @@ class ChunkMachine:
         checkpoint_every: int = 0,
         start_checkpoint: IntervalCheckpoint | None = None,
         stop_after_commits: int = 0,
+        tracer: Tracer | None = None,
     ) -> None:
         if program.num_threads > machine_config.num_processors:
             raise ConfigurationError(
@@ -128,8 +135,21 @@ class ChunkMachine:
         self.perturbation = perturbation
         self.use_strata = use_strata
         self.stochastic_overflow_rate = stochastic_overflow_rate
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        metrics = self.tracer.metrics
+        self._m_commits = metrics.counter("chunks_committed")
+        self._m_instructions = metrics.counter("instructions_committed")
+        self._m_dma = metrics.counter("dma_commits")
+        self._m_interrupts = metrics.counter("interrupts_delivered")
+        self._m_directory_bytes = metrics.gauge("directory_bytes")
+        self._m_cycles = metrics.gauge("cycles")
+        self._h_chunk_instructions = metrics.histogram(
+            "chunk_instructions")
+        self._h_commit_wait = metrics.histogram("commit_wait_cycles")
 
         self.engine = EventEngine()
+        if self.tracer.enabled:
+            self.engine.dispatch_hook = self._sample_engine
         self.memory = MainMemory(program.initial_memory)
         shared_l2 = SharedL2Filter(machine_config.l2_lines)
         cache_config = CacheConfig(machine_config.l1_sets,
@@ -140,7 +160,8 @@ class ChunkMachine:
                    if proc_id < program.num_threads else [])
             cache = SpeculativeCache(cache_config, shared_l2)
             self.processors.append(
-                ChunkProcessor(proc_id, ops, machine_config, cache))
+                ChunkProcessor(proc_id, ops, machine_config, cache,
+                               tracer=self.tracer))
         self._caches = {p.proc_id: p.cache for p in self.processors}
         # Traffic is metered at the hardware wire format of Table 5
         # (2 Kbit signatures), independent of the behavioral filter's
@@ -155,7 +176,8 @@ class ChunkMachine:
                            if perturbation else None)
 
         self.recorder = (None if self.is_replay
-                         else Recorder(machine_config, mode_config))
+                         else Recorder(machine_config, mode_config,
+                                       tracer=self.tracer))
         if self.is_replay:
             self.io_source = _ReplayIOSource(replay_source)
         else:
@@ -262,7 +284,13 @@ class ChunkMachine:
             on_grant=self._on_grant,
             dma_proc_id=self.config.dma_proc_id,
             head_filter=self._is_commit_head,
+            tracer=self.tracer,
         )
+
+    def _sample_engine(self, now: float, depth: int,
+                       processed: int) -> None:
+        """Engine dispatch hook (installed only when tracing)."""
+        self.tracer.counter("engine", "queue_depth", now, depth=depth)
 
     def _proc_active(self, proc_id: int) -> bool:
         """Architectural 'can ever commit again' predicate.
@@ -377,14 +405,33 @@ class ChunkMachine:
                 self.engine.schedule_at(
                     transfer.time,
                     lambda t=transfer: self._dma_arrive(t))
-        for proc in self.processors:
-            self._kick(proc.proc_id)
-        if self.is_replay:
-            self._drain_replay_dma()
-        self.engine.run(max_events)
-        self._check_drained()
+        try:
+            for proc in self.processors:
+                self._kick(proc.proc_id)
+            if self.is_replay:
+                self._drain_replay_dma()
+            self.engine.run(max_events)
+            self._check_drained()
+        except (ReplayDivergenceError, DeadlockError) as error:
+            # Snapshot the partial run for the forensics layer before
+            # the error unwinds past the machine.
+            error.context = self._divergence_context()
+            raise
         self._finished = True
         return self._collect()
+
+    def _divergence_context(self) -> DivergenceContext:
+        """The partial-run snapshot attached to fatal replay errors."""
+        return DivergenceContext(
+            cycle=self.engine.now,
+            fingerprints=list(self._fingerprints),
+            per_proc_fingerprints={
+                proc: list(entries) for proc, entries
+                in self._per_proc_fingerprints.items()},
+            committed_counts={
+                p.proc_id: p.committed_count for p in self.processors},
+            grants_log=list(self.arbiter.grants_log),
+        )
 
     def _check_drained(self) -> None:
         if self._stopped:
@@ -403,6 +450,7 @@ class ChunkMachine:
 
     def _collect(self) -> RunResult:
         self.stats.cycles = self.engine.now
+        self._m_cycles.set(self.engine.now)
         for proc in self.processors:
             self.stats.merge_processor(proc.proc_id, proc.stats)
         if isinstance(self.arbiter.policy, RoundRobinPolicy):
@@ -417,6 +465,7 @@ class ChunkMachine:
             c.l2_hits + c.memory_accesses for c in self._caches.values())
         self.directory.on_data_refill(total_refills)
         self.stats.traffic = self.directory.traffic.as_dict()
+        self._m_directory_bytes.set(self.directory.traffic.total_bytes)
         return RunResult(
             stats=self.stats,
             fingerprints=self._fingerprints,
@@ -463,9 +512,23 @@ class ChunkMachine:
             start = max(now, proc.exec_free_time)
             done = start + chunk.exec_cycles
             proc.exec_free_time = done
+            if self.tracer.enabled:
+                self._trace_execute(chunk, start)
             self.engine.schedule(done - now,
                                  lambda c=chunk: self._complete(c))
         self._note_stall(proc_id, now)
+
+    def _trace_execute(self, chunk: Chunk, start: float) -> None:
+        """Emit one execute span for a just-built chunk (or piece)."""
+        name = f"exec c{chunk.logical_seq}"
+        if chunk.piece_index:
+            name += f".{chunk.piece_index}"
+        self.tracer.span(
+            f"p{chunk.processor}", name, start, chunk.exec_cycles,
+            category="execute", seq=chunk.logical_seq,
+            piece=chunk.piece_index, instructions=chunk.instructions,
+            target=chunk.target_size, handler=chunk.is_handler,
+            truncation=chunk.truncation.name if chunk.truncation else "")
 
     def _chunk_plan(self, proc: ChunkProcessor) -> \
             tuple[int, TruncationReason, int | None]:
@@ -587,6 +650,15 @@ class ChunkMachine:
     def _on_grant(self, chunk: Chunk, now: float) -> None:
         """Arbiter callback: a commit was granted (Figure 4 msg 3/6)."""
         self.directory.on_grant()
+        wait = max(0.0, now - chunk.complete_time)
+        self._h_commit_wait.observe(wait)
+        if self.tracer.enabled and wait > 0:
+            track = ("dma" if chunk.processor == self.config.dma_proc_id
+                     else f"p{chunk.processor}")
+            self.tracer.span(
+                track, f"wait c{chunk.logical_seq}",
+                chunk.complete_time, wait, category="wait",
+                seq=chunk.logical_seq, piece=chunk.piece_index)
         ready = sum(
             1 for p in self.processors
             if p.outstanding and p.outstanding[0].state in (
@@ -629,6 +701,11 @@ class ChunkMachine:
                 + self.config.timing.memory_cycles)
         if self.recorder is not None:
             self.recorder.on_commit(chunk)
+        self._m_commits.inc()
+        self._m_instructions.inc(chunk.instructions)
+        self._h_chunk_instructions.observe(chunk.instructions)
+        if self.tracer.enabled:
+            self._trace_commit(chunk, now)
         needs_continuation = chunk.blocks_successors
         self._capture_fingerprint(chunk, needs_continuation)
         if chunk.piece_index > 0 and not needs_continuation:
@@ -651,13 +728,40 @@ class ChunkMachine:
             self.arbiter.commit_finished(chunk, now)
             self._kick(chunk.processor)
 
+    def _trace_commit(self, chunk: Chunk, now: float) -> None:
+        """One commit span per committed piece, plus the progress and
+        traffic counters.  Span counts per processor track equal the
+        run's per-processor ``chunks_committed`` exactly (the Perfetto
+        acceptance check)."""
+        name = f"commit c{chunk.logical_seq}"
+        if chunk.piece_index:
+            name += f".{chunk.piece_index}"
+        self.tracer.span(
+            f"p{chunk.processor}", name, chunk.grant_time,
+            max(0.0, now - chunk.grant_time), category="commit",
+            seq=chunk.logical_seq, piece=chunk.piece_index,
+            instructions=chunk.instructions, slot=chunk.grant_slot)
+        self.tracer.counter(
+            "directory", "traffic_bytes", now,
+            total=self.directory.traffic.total_bytes)
+        if self.is_replay:
+            # Global commits fully captured so far (split-chunk pieces
+            # land when their last piece commits).
+            self.tracer.counter(
+                "replay", "commits", now,
+                total=len(self._fingerprints))
+
     def _squash_remote_conflicts(self, committing: Chunk,
                                  now: float) -> None:
         flush = self.config.timing.squash_flush_cycles
+        cause = ("collision:dma"
+                 if committing.processor == self.config.dma_proc_id
+                 else f"collision:p{committing.processor}")
         for other in self.processors:
             if other.proc_id == committing.processor:
                 continue
-            victims = other.squash_if_conflicts(committing, now)
+            victims = other.squash_if_conflicts(committing, now,
+                                                cause=cause)
             if victims:
                 for victim in victims:
                     self.directory.on_squash(victim)
@@ -710,6 +814,8 @@ class ChunkMachine:
         start = max(now, proc.exec_free_time)
         done = start + chunk.exec_cycles
         proc.exec_free_time = done
+        if self.tracer.enabled:
+            self._trace_execute(chunk, start)
         self.engine.schedule(done - now,
                              lambda c=chunk: self._complete(c))
 
@@ -765,6 +871,12 @@ class ChunkMachine:
         """Record phase: an external interrupt arrives."""
         now = self.engine.now
         proc = self.processors[event.processor]
+        self._m_interrupts.inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                f"p{event.processor}", f"irq v{event.vector}", now,
+                category="interrupt", vector=event.vector,
+                high_priority=event.high_priority)
         victims = proc.receive_interrupt(event, now)
         if victims:
             for victim in victims:
@@ -803,6 +915,13 @@ class ChunkMachine:
     def _finalize_dma_commit(self, chunk: Chunk, now: float) -> None:
         self._dma_sequence += 1
         self.stats.dma_commits += 1
+        self._m_dma.inc()
+        if self.tracer.enabled:
+            self.tracer.span(
+                "dma", f"dma burst {self._dma_sequence}",
+                chunk.grant_time, max(0.0, now - chunk.grant_time),
+                category="dma", burst=self._dma_sequence,
+                writes=len(chunk.write_buffer))
         if self.recorder is not None:
             self.recorder.on_dma_commit(
                 dict(chunk.write_buffer), grant_slot=chunk.grant_slot)
@@ -824,6 +943,12 @@ class ChunkMachine:
         self._squash_remote_conflicts(chunk, now)
         self._dma_sequence += 1
         self.stats.dma_commits += 1
+        self._m_dma.inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "dma", f"dma burst {self._dma_sequence}", now,
+                category="dma", burst=self._dma_sequence,
+                writes=len(writes))
         fingerprint = ("dma", self._dma_sequence,
                        tuple(sorted(writes.items())))
         self._fingerprints.append(fingerprint)
@@ -870,12 +995,14 @@ def record_execution(
     stochastic_overflow_rate: float = 0.0,
     max_events: int | None = None,
     checkpoint_every: int = 0,
+    tracer: Tracer | None = None,
 ) -> Recording:
     """Run the initial execution and produce its Recording."""
     machine = ChunkMachine(
         program, machine_config, mode_config,
         stochastic_overflow_rate=stochastic_overflow_rate,
-        checkpoint_every=checkpoint_every)
+        checkpoint_every=checkpoint_every,
+        tracer=tracer)
     result = machine.run(max_events)
     recorder = machine.recorder
     recorder.finish()
@@ -903,18 +1030,21 @@ def record_execution(
     )
 
 
-def replay_execution(
+def build_replay_machine(
     recording: Recording,
     perturbation: ReplayPerturbation | None = None,
     use_strata: bool | None = None,
     stochastic_overflow_rate: float = 0.0,
-    max_events: int | None = None,
     start_checkpoint: IntervalCheckpoint | None = None,
     stop_after: int = 0,
-) -> ReplayResult:
-    """Deterministically replay a Recording (optionally an interval
-    I(n, m) from a commit-boundary checkpoint, optionally halting after
-    ``stop_after`` commits) and verify it."""
+    tracer: Tracer | None = None,
+) -> ChunkMachine:
+    """A replay-configured :class:`ChunkMachine`, not yet run.
+
+    Shared by :func:`replay_execution` and the forensics layer
+    (:func:`repro.telemetry.forensics.diagnose_replay`), which needs
+    direct access to the machine's replay source and partial state.
+    """
     if use_strata is None:
         use_strata = recording.stratified and start_checkpoint is None
     source = ReplaySource(recording, start_checkpoint)
@@ -922,7 +1052,7 @@ def replay_execution(
     if perturbation is not None and perturbation.single_chunk_window:
         from dataclasses import replace as _replace
         machine_config = _replace(machine_config, simultaneous_chunks=1)
-    machine = ChunkMachine(
+    return ChunkMachine(
         recording.program,
         machine_config,
         recording.mode_config,
@@ -932,7 +1062,34 @@ def replay_execution(
         stochastic_overflow_rate=stochastic_overflow_rate,
         start_checkpoint=start_checkpoint,
         stop_after_commits=stop_after,
+        tracer=tracer,
     )
+
+
+def replay_execution(
+    recording: Recording,
+    perturbation: ReplayPerturbation | None = None,
+    use_strata: bool | None = None,
+    stochastic_overflow_rate: float = 0.0,
+    max_events: int | None = None,
+    start_checkpoint: IntervalCheckpoint | None = None,
+    stop_after: int = 0,
+    tracer: Tracer | None = None,
+) -> ReplayResult:
+    """Deterministically replay a Recording (optionally an interval
+    I(n, m) from a commit-boundary checkpoint, optionally halting after
+    ``stop_after`` commits) and verify it."""
+    machine = build_replay_machine(
+        recording,
+        perturbation=perturbation,
+        use_strata=use_strata,
+        stochastic_overflow_rate=stochastic_overflow_rate,
+        start_checkpoint=start_checkpoint,
+        stop_after=stop_after,
+        tracer=tracer,
+    )
+    source = machine.replay_source
+    use_strata = machine.use_strata
     result = machine.run(max_events)
     problems = [] if stop_after else source.verify_fully_consumed()
     report = verify_determinism(

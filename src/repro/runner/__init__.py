@@ -25,9 +25,11 @@ from repro.runner.jobs import (
 from repro.runner.pool import JobOutcome, Runner, RunnerError
 from repro.runner.reporting import (
     ConsoleReporter,
+    JSONLReporter,
     NullReporter,
     Reporter,
     RunnerMetrics,
+    reporter_from_option,
 )
 from repro.runner.retry import AttemptFailure, FailureRecord, RetryPolicy
 from repro.runner.specs import RunSpec
@@ -36,6 +38,7 @@ __all__ = [
     "AttemptFailure",
     "ConsoleReporter",
     "FailureRecord",
+    "JSONLReporter",
     "JobOutcome",
     "NullReporter",
     "Reporter",

@@ -92,6 +92,7 @@ def _record_metrics(recording) -> dict:
             ordering.bits_per_proc_per_kiloinst(total, False),
         "log_bits_per_proc_per_kiloinst_compressed":
             ordering.bits_per_proc_per_kiloinst(total, True),
+        "run_stats": recording.stats.as_dict(),
     }
 
 
@@ -134,6 +135,7 @@ def _run_replay(spec: RunSpec, cache=None) -> dict:
         "compared_chunks": result.determinism.compared_chunks,
         "summary": result.determinism.summary(),
         "record_cycles": recording.stats.cycles,
+        "run_stats": result.stats.as_dict(),
     }
     artifact["payload_codec"] = "pickle"
     artifact["payload"] = base64.b64encode(

@@ -282,7 +282,14 @@ class Runner:
                     pending, timeout=0.05,
                     return_when=concurrent.futures.FIRST_COMPLETED)
                 for future in done:
-                    spec, attempt, failures = pending.pop(future)
+                    entry = pending.pop(future, None)
+                    if entry is None:
+                        # A pool break earlier in this batch already
+                        # cleared pending and resubmitted this job on
+                        # the fresh executor; the stale future carries
+                        # nothing we still need.
+                        continue
+                    spec, attempt, failures = entry
                     try:
                         envelope = future.result()
                     except BrokenProcessPool:

@@ -11,6 +11,7 @@ pusher -- subclasses :class:`Reporter` and overrides what it needs.
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 from dataclasses import dataclass, field
@@ -150,3 +151,86 @@ class ConsoleReporter(Reporter):
 
     def on_finish(self, metrics: RunnerMetrics) -> None:
         self._emit(f"runner: {metrics.summary()}")
+
+
+class JSONLReporter(Reporter):
+    """Machine-readable sweep log: one JSON object per event.
+
+    Selected on the CLI with ``repro bench --report jsonl:PATH``.
+    Every hook appends exactly one line (a single ``write`` of a
+    ``\\n``-terminated object on an ``O_APPEND`` handle, so concurrent
+    sweeps logging to the same file interleave whole lines, never
+    fragments).  The stream loads back with one ``json.loads`` per
+    line; each object carries ``event`` plus that hook's fields.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        # Truncate up front so one sweep = one coherent stream, then
+        # reopen in append mode for the atomic per-line writes.
+        open(path, "w", encoding="utf-8").close()
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+
+    @staticmethod
+    def _spec_fields(spec: RunSpec) -> dict:
+        return {"spec": spec.label(), "spec_hash": spec.content_hash()}
+
+    def on_start(self, total_jobs: int) -> None:
+        self._append({"event": "start", "total_jobs": total_jobs,
+                      "time": time.time()})
+
+    def on_job_start(self, spec: RunSpec, attempt: int) -> None:
+        self._append({"event": "job_start", "attempt": attempt,
+                      "time": time.time(), **self._spec_fields(spec)})
+
+    def on_job_done(self, spec: RunSpec, *, from_cache: bool,
+                    wall_time: float, metrics: RunnerMetrics) -> None:
+        self._append({"event": "job_done", "from_cache": from_cache,
+                      "wall_time": wall_time, "time": time.time(),
+                      "finished": metrics.finished,
+                      **self._spec_fields(spec)})
+
+    def on_retry(self, spec: RunSpec, attempt: int, delay: float,
+                 error: str) -> None:
+        self._append({"event": "retry", "attempt": attempt,
+                      "delay": delay, "error": error,
+                      "time": time.time(), **self._spec_fields(spec)})
+
+    def on_job_failed(self, spec: RunSpec, error: str,
+                      metrics: RunnerMetrics) -> None:
+        self._append({"event": "job_failed", "error": error,
+                      "time": time.time(), **self._spec_fields(spec)})
+
+    def on_finish(self, metrics: RunnerMetrics) -> None:
+        self._append({"event": "finish", "time": time.time(),
+                      "metrics": metrics.snapshot()})
+
+
+def reporter_from_option(option: str | None,
+                         default: Reporter) -> Reporter:
+    """Resolve a CLI ``--report`` option to a Reporter.
+
+    ``None`` keeps ``default``; ``console`` forces the console
+    reporter; ``jsonl:PATH`` appends one JSON object per event to
+    ``PATH``; ``null`` silences reporting.
+    """
+    if option is None:
+        return default
+    if option == "console":
+        return (default if isinstance(default, ConsoleReporter)
+                else ConsoleReporter())
+    if option == "null":
+        return NullReporter()
+    if option.startswith("jsonl:"):
+        path = option[len("jsonl:"):]
+        if not path:
+            raise ValueError("--report jsonl:PATH needs a path")
+        return JSONLReporter(path)
+    raise ValueError(
+        f"unknown --report option {option!r} "
+        f"(expected console, null, or jsonl:PATH)")

@@ -1,0 +1,78 @@
+"""repro.telemetry: cycle-accurate tracing, metrics, and forensics.
+
+The observability layer of the simulator:
+
+* :class:`Tracer` / :class:`EventTracer` -- structured event capture
+  keyed to simulated cycles (:mod:`repro.telemetry.tracer`).  The
+  default :data:`NULL_TRACER` is a shared no-op sink, so an untraced
+  run records nothing and pays (almost) nothing.
+* :class:`MetricsRegistry` -- counters, gauges and histograms that
+  components register into (:mod:`repro.telemetry.metrics`).
+* Exporters -- Chrome-trace/Perfetto JSON
+  (:mod:`repro.telemetry.perfetto`), JSONL event streams
+  (:mod:`repro.telemetry.jsonl`), and the registry's flat dump.
+* Replay-divergence forensics -- the first-divergence report of
+  :mod:`repro.telemetry.forensics`.
+"""
+
+from repro.telemetry.events import (
+    CAT_COMMIT,
+    CAT_EXECUTE,
+    CAT_SQUASH,
+    CAT_WAIT,
+    KIND_COUNTER,
+    KIND_INSTANT,
+    KIND_SPAN,
+    TraceEvent,
+)
+from repro.telemetry.forensics import (
+    DivergenceForensics,
+    diagnose_replay,
+)
+from repro.telemetry.jsonl import (
+    load_events_jsonl,
+    write_events_jsonl,
+)
+from repro.telemetry.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.perfetto import (
+    chrome_trace,
+    commit_spans_per_track,
+    write_chrome_trace,
+)
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    EventTracer,
+    Tracer,
+)
+
+__all__ = [
+    "CAT_COMMIT",
+    "CAT_EXECUTE",
+    "CAT_SQUASH",
+    "CAT_WAIT",
+    "Counter",
+    "DivergenceForensics",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "KIND_COUNTER",
+    "KIND_INSTANT",
+    "KIND_SPAN",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "commit_spans_per_track",
+    "diagnose_replay",
+    "load_events_jsonl",
+    "write_chrome_trace",
+    "write_events_jsonl",
+]

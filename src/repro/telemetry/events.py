@@ -1,0 +1,82 @@
+"""Structured trace events keyed to simulated cycles.
+
+One :class:`TraceEvent` is one thing that happened on one *track* of
+the simulated machine.  Tracks are named after the hardware they
+observe -- ``p0`` .. ``pN`` for the processors, ``arbiter``, ``token``,
+``dma``, ``log``, ``directory``, ``replay`` and ``engine`` -- and map
+one-to-one onto Perfetto timeline rows.
+
+Three event kinds cover everything the machine emits:
+
+* ``span`` -- an interval ``[cycle, cycle + duration]``: a chunk's
+  execution, its commit-token wait, its commit propagation.
+* ``instant`` -- a point event: a squash (with its cause), an
+  interrupt delivery, a commit grant, a token hop.
+* ``counter`` -- a sampled time series: log sizes in bits, directory
+  traffic in bytes, replay progress, event-queue depth.
+
+Event times are *simulated cycles*, never wall-clock: a trace is as
+deterministic as the run that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+KIND_SPAN = "span"
+KIND_INSTANT = "instant"
+KIND_COUNTER = "counter"
+
+#: Well-known categories (Perfetto ``cat``); free-form strings are fine
+#: too, these just keep the machine's emissions greppable.
+CAT_EXECUTE = "execute"
+CAT_WAIT = "wait"
+CAT_COMMIT = "commit"
+CAT_SQUASH = "squash"
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One structured event on one track of the machine timeline."""
+
+    kind: str
+    track: str
+    name: str
+    cycle: float
+    duration: float = 0.0
+    category: str = ""
+    args: dict = field(default_factory=dict)
+
+    @property
+    def end_cycle(self) -> float:
+        """The cycle at which a span ends (== ``cycle`` for points)."""
+        return self.cycle + self.duration
+
+    def as_dict(self) -> dict:
+        """JSON-ready flat form (the JSONL wire format)."""
+        data = {
+            "kind": self.kind,
+            "track": self.track,
+            "name": self.name,
+            "cycle": self.cycle,
+        }
+        if self.kind == KIND_SPAN:
+            data["duration"] = self.duration
+        if self.category:
+            data["category"] = self.category
+        if self.args:
+            data["args"] = self.args
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        """Invert :meth:`as_dict`."""
+        return cls(
+            kind=data["kind"],
+            track=data["track"],
+            name=data["name"],
+            cycle=data["cycle"],
+            duration=data.get("duration", 0.0),
+            category=data.get("category", ""),
+            args=data.get("args", {}),
+        )

@@ -1,0 +1,34 @@
+"""JSONL export/import of trace event streams.
+
+One JSON object per line, in emission order -- the format for piping a
+trace through ``jq``, diffing two runs' event streams, or feeding
+events to external tooling without loading a whole Perfetto document.
+The stream round-trips exactly: ``load_events_jsonl`` inverts
+``write_events_jsonl`` event-for-event.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.events import TraceEvent
+
+
+def write_events_jsonl(events: list[TraceEvent], path) -> None:
+    """Write one compact JSON object per event to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.as_dict(), sort_keys=True,
+                                    separators=(",", ":")))
+            handle.write("\n")
+
+
+def load_events_jsonl(path) -> list[TraceEvent]:
+    """Load an event stream written by :func:`write_events_jsonl`."""
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events

@@ -1,0 +1,184 @@
+"""A metrics registry: counters, gauges and histograms by name.
+
+Components of the simulated machine *register* their instruments at
+construction time and update them through the returned handles; the
+registry is the single place that knows every metric's name and value.
+This replaces ad-hoc dictionary merging with a structure that can be
+dumped flat (:meth:`MetricsRegistry.as_dict`) for the ``repro trace``
+metrics artifact and aggregated by sweep-level reporters.
+
+The :data:`NULL_METRICS` registry hands out shared no-op instruments:
+a machine built without telemetry still registers everything (so the
+wiring is always exercised) but every update is a constant-time no-op
+and nothing accumulates.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down; holds the last sample."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max)."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/min/max/mean in one flat dict."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named instruments.
+
+    Asking twice for the same name returns the same instrument, so
+    several components can share a counter; asking for a registered
+    name with a different instrument kind is an error (it would
+    silently split one metric into two).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, name: str, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory(name)
+            self._instruments[name] = instrument
+            return instrument
+        if not type(instrument) is factory and \
+                not isinstance(instrument, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Register (or fetch) the counter called ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Register (or fetch) the gauge called ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Register (or fetch) the histogram called ``name``."""
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self):
+        return iter(self._instruments.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat ``name -> value`` dump; histograms expand to
+        ``name.count`` / ``name.sum`` / ``name.min`` / ``name.max`` /
+        ``name.mean`` sub-keys."""
+        flat: dict[str, float] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                for key, value in instrument.summary().items():
+                    flat[f"{name}.{key}"] = value
+            else:
+                flat[name] = instrument.value
+        return flat
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Registry whose instruments are shared constant no-ops."""
+
+    _COUNTER = _NullCounter("null")
+    _GAUGE = _NullGauge("null")
+    _HISTOGRAM = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return self._GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return self._HISTOGRAM
+
+    def as_dict(self) -> dict[str, float]:
+        return {}
+
+
+#: Shared no-op registry (the instruments it hands out never change).
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,110 @@
+"""The tracer: a sink for structured machine events.
+
+:class:`Tracer` is the null implementation -- every emit method is a
+no-op, ``enabled`` is False, and its metrics registry hands out no-op
+instruments.  The machine is instrumented unconditionally against this
+interface; components guard only the *expensive* emissions (those that
+build argument dictionaries) behind ``if tracer.enabled``, so an
+untraced run does no per-event work beyond a cheap method call.
+
+:class:`EventTracer` records every event in order and owns a live
+:class:`~repro.telemetry.metrics.MetricsRegistry`.  One tracer observes
+one machine run; feed its ``events`` to the Perfetto or JSONL exporter
+and dump ``metrics.as_dict()`` for the flat metrics artifact.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.events import (
+    KIND_COUNTER,
+    KIND_INSTANT,
+    KIND_SPAN,
+    TraceEvent,
+)
+from repro.telemetry.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+)
+
+
+class Tracer:
+    """The null tracer: accepts everything, records nothing."""
+
+    #: Components may branch on this before building event arguments.
+    enabled = False
+
+    def __init__(self) -> None:
+        self.metrics = NULL_METRICS
+
+    @property
+    def events(self) -> tuple:
+        """The captured events (always empty for the null tracer)."""
+        return ()
+
+    def span(self, track: str, name: str, cycle: float,
+             duration: float, category: str = "", **args) -> None:
+        """Record an interval ``[cycle, cycle + duration]``."""
+
+    def instant(self, track: str, name: str, cycle: float,
+                category: str = "", **args) -> None:
+        """Record a point event."""
+
+    def counter(self, track: str, name: str, cycle: float,
+                **values) -> None:
+        """Record a sample of one or more named time series."""
+
+
+class EventTracer(Tracer):
+    """A tracer that keeps every event (and live metrics)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self._events: list[TraceEvent] = []
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The captured events, in emission order."""
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def span(self, track: str, name: str, cycle: float,
+             duration: float, category: str = "", **args) -> None:
+        self._events.append(TraceEvent(
+            kind=KIND_SPAN, track=track, name=name, cycle=cycle,
+            duration=max(0.0, duration), category=category, args=args))
+
+    def instant(self, track: str, name: str, cycle: float,
+                category: str = "", **args) -> None:
+        self._events.append(TraceEvent(
+            kind=KIND_INSTANT, track=track, name=name, cycle=cycle,
+            category=category, args=args))
+
+    def counter(self, track: str, name: str, cycle: float,
+                **values) -> None:
+        self._events.append(TraceEvent(
+            kind=KIND_COUNTER, track=track, name=name, cycle=cycle,
+            args=values))
+
+    def tracks(self) -> list[str]:
+        """Distinct track names, processors first, in stable order."""
+        seen: dict[str, None] = {}
+        for event in self._events:
+            seen.setdefault(event.track, None)
+        procs = sorted((t for t in seen if t.startswith("p")
+                        and t[1:].isdigit()),
+                       key=lambda t: int(t[1:]))
+        others = sorted(t for t in seen
+                        if not (t.startswith("p") and t[1:].isdigit()))
+        return procs + others
+
+    def events_on(self, track: str) -> list[TraceEvent]:
+        """Every event of one track, in emission order."""
+        return [event for event in self._events if event.track == track]
+
+
+#: The shared no-op sink; machine components default to this.
+NULL_TRACER = Tracer()

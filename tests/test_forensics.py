@@ -1,0 +1,105 @@
+"""Tests for replay-divergence forensics (repro.telemetry.forensics)."""
+
+import dataclasses
+
+from conftest import counter_program, small_config
+from repro.core.delorean import DeLoreanSystem
+from repro.core.modes import ExecutionMode
+from repro.errors import ReplayDivergenceError
+from repro.telemetry import DivergenceForensics, diagnose_replay
+
+
+def _record(mode=ExecutionMode.ORDER_ONLY):
+    system = DeLoreanSystem(mode=mode, machine_config=small_config())
+    return system.record(counter_program(threads=4, increments=15))
+
+
+class TestStructuredError:
+    def test_fields_default_to_none(self):
+        error = ReplayDivergenceError("boom")
+        assert str(error) == "boom"
+        assert error.proc_id is None
+        assert error.chunk_index is None
+        assert error.expected is None
+        assert error.actual is None
+        assert error.context is None
+
+    def test_fields_attach_without_changing_the_message(self):
+        error = ReplayDivergenceError("boom", proc_id=2, chunk_index=7,
+                                      expected=1, actual=2)
+        assert str(error) == "boom"
+        assert (error.proc_id, error.chunk_index) == (2, 7)
+        assert (error.expected, error.actual) == (1, 2)
+
+
+class TestCleanReplay:
+    def test_no_divergence(self):
+        report = diagnose_replay(_record())
+        assert isinstance(report, DivergenceForensics)
+        assert not report.diverged
+        assert "no divergence" in report.summary()
+        assert report.render() == report.summary()
+
+
+class TestCorruptedLogs:
+    def test_pi_swap_is_localized(self):
+        # Swap the first adjacent pair of differing PI entries: the
+        # replay commits in the wrong order and the report must name
+        # the first wrong commit.
+        recording = _record()
+        entries = recording.pi_log.entries
+        swap = next(i for i in range(len(entries) - 1)
+                    if entries[i] != entries[i + 1])
+        entries[swap], entries[swap + 1] = \
+            entries[swap + 1], entries[swap]
+        report = diagnose_replay(recording)
+        assert report.diverged
+        assert report.proc_id is not None
+        assert report.chunk_index is not None
+        assert report.chunk_index <= swap + 1
+        rendered = report.render()
+        assert "DIVERGED" in rendered
+        assert "expected:" in rendered and "actual:" in rendered
+        assert any(marker for _, _, marker
+                   in report.interleaving_window)
+
+    def test_cs_corruption_names_proc_and_chunk(self):
+        # In OrderAndSize every chunk size is logged, so halving one
+        # entry reliably truncates the replayed chunk early.
+        recording = _record(mode=ExecutionMode.ORDER_AND_SIZE)
+        log = recording.cs_logs[0]
+        index, entry = next(
+            (i, e) for i, e in enumerate(log.entries) if e.size > 1)
+        log.entries[index] = dataclasses.replace(
+            entry, size=max(1, entry.size // 2))
+        report = diagnose_replay(recording)
+        assert report.diverged
+        assert report.proc_id == 0
+        assert report.chunk_index is not None
+        assert report.expected is not None
+        rendered = report.render()
+        assert "processor 0" in report.summary()
+        assert "DIVERGED" in rendered
+
+    def test_render_mentions_last_commits(self):
+        recording = _record()
+        entries = recording.pi_log.entries
+        swap = next(i for i in range(len(entries) - 1)
+                    if entries[i] != entries[i + 1])
+        entries[swap], entries[swap + 1] = \
+            entries[swap + 1], entries[swap]
+        rendered = diagnose_replay(recording).render(last_n=4)
+        assert "replayed commits per" in rendered
+
+
+class TestScalarExpectations:
+    def test_render_handles_non_fingerprint_expected(self):
+        # Arbiter raise sites attach scalar expectations (a proc id);
+        # the report must render them rather than crash.
+        report = DivergenceForensics(
+            diverged=True, reason="grant mismatch", proc_id=3,
+            chunk_index=5, expected=1, actual=3)
+        rendered = report.render()
+        assert "expected: 1" in rendered
+        assert "actual:   3" in rendered
+        assert "processor 3" in report.summary()

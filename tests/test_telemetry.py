@@ -1,0 +1,203 @@
+"""Tests for repro.telemetry: tracer, metrics registry, exporters."""
+
+import json
+import time
+
+import pytest
+
+from conftest import counter_program, small_config
+from repro.analysis.stats import RunStats
+from repro.chunks.processor import ProcessorStats
+from repro.core.delorean import DeLoreanSystem
+from repro.core.modes import ExecutionMode
+from repro.telemetry import (
+    NULL_METRICS,
+    NULL_TRACER,
+    EventTracer,
+    MetricsRegistry,
+    chrome_trace,
+    commit_spans_per_track,
+    load_events_jsonl,
+    write_events_jsonl,
+)
+
+
+def _system() -> DeLoreanSystem:
+    return DeLoreanSystem(mode=ExecutionMode.ORDER_ONLY,
+                          machine_config=small_config())
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("commits")
+        counter.inc()
+        counter.inc(2)
+        gauge = registry.gauge("cycles")
+        gauge.set(10.0)
+        gauge.set(5.0)
+        histogram = registry.histogram("sizes")
+        for value in (1.0, 3.0, 5.0):
+            histogram.observe(value)
+        flat = registry.as_dict()
+        assert flat["commits"] == 3
+        assert flat["cycles"] == 5.0
+        assert flat["sizes.count"] == 3
+        assert flat["sizes.sum"] == 9.0
+        assert flat["sizes.min"] == 1.0
+        assert flat["sizes.max"] == 5.0
+        assert flat["sizes.mean"] == 3.0
+
+    def test_create_or_get_shares_instruments(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_null_registry_accumulates_nothing(self):
+        counter = NULL_METRICS.counter("anything")
+        counter.inc(100)
+        NULL_METRICS.gauge("g").set(7.0)
+        NULL_METRICS.histogram("h").observe(3.0)
+        assert NULL_METRICS.as_dict() == {}
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        NULL_TRACER.span("p0", "x", 0.0, 1.0, category="execute")
+        NULL_TRACER.instant("p0", "x", 0.0)
+        NULL_TRACER.counter("p0", "x", 0.0, v=1)
+        assert NULL_TRACER.events == ()
+        assert not NULL_TRACER.enabled
+
+    def test_untraced_run_emits_zero_events(self):
+        before = len(NULL_TRACER.events)
+        _system().record(counter_program(threads=4, increments=10))
+        assert len(NULL_TRACER.events) == before == 0
+
+    def test_tracing_does_not_change_the_run(self):
+        program = counter_program(threads=4, increments=12)
+        tracer = EventTracer()
+        plain = _system().record(program)
+        traced = _system().record(program, tracer=tracer)
+        assert traced.fingerprints == plain.fingerprints
+        assert traced.stats.as_dict() == plain.stats.as_dict()
+        assert len(tracer.events) > 0
+
+    def test_null_emission_overhead_is_negligible(self):
+        # The per-chunk cost of telemetry when tracing is off is one
+        # no-op method call per emission point; bound it generously so
+        # a regression to real work (dict building, appends) fails.
+        start = time.perf_counter()
+        for _ in range(10_000):
+            NULL_TRACER.instant("p0", "x", 0.0)
+            NULL_TRACER.span("p0", "x", 0.0, 1.0)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.5
+
+
+class TestEventTracer:
+    def test_captures_spans_instants_counters(self):
+        tracer = EventTracer()
+        tracer.span("p0", "exec", 10.0, 5.0, category="execute", seq=1)
+        tracer.instant("arbiter", "grant p0", 15.0, category="grant")
+        tracer.counter("log", "pi_bits", 15.0, bits=32)
+        assert len(tracer) == 3
+        assert [e.kind for e in tracer.events] == \
+            ["span", "instant", "counter"]
+        assert tracer.tracks() == ["p0", "arbiter", "log"]
+        assert [e.name for e in tracer.events_on("p0")] == ["exec"]
+        span = tracer.events[0]
+        assert span.end_cycle == 15.0
+        assert span.args == {"seq": 1}
+
+    def test_machine_emits_chunk_lifecycle(self):
+        tracer = EventTracer()
+        recording = _system().record(
+            counter_program(threads=4, increments=15), tracer=tracer)
+        categories = {event.category for event in tracer.events}
+        assert {"execute", "commit", "grant"} <= categories
+        tracks = tracer.tracks()
+        assert tracks[:4] == ["p0", "p1", "p2", "p3"]
+        assert "arbiter" in tracks
+        flat = tracer.metrics.as_dict()
+        assert flat["chunks_committed"] == \
+            recording.stats.total_committed_chunks
+        assert flat["arbiter_grants"] >= flat["chunks_committed"]
+        assert flat["cycles"] == recording.stats.cycles
+
+    def test_one_tracer_per_run(self):
+        tracer = EventTracer()
+        recording = _system().record(counter_program(threads=2),
+                                     tracer=tracer)
+        replay_tracer = EventTracer()
+        _system().replay(recording, tracer=replay_tracer)
+        assert len(replay_tracer.events) > 0
+        assert any(event.track == "replay"
+                   for event in replay_tracer.events)
+
+
+class TestPerfettoExport:
+    def test_document_shape(self):
+        tracer = EventTracer()
+        tracer.span("p0", "exec c0", 0.0, 4.0, category="execute")
+        tracer.instant("arbiter", "grant p0", 4.0, category="grant")
+        tracer.counter("log", "pi_bits", 4.0, bits=8)
+        document = chrome_trace(tracer.events, metadata={"app": "t"})
+        entries = document["traceEvents"]
+        phases = [entry["ph"] for entry in entries]
+        # process_name + (thread_name + thread_sort_index) per track.
+        assert phases.count("M") == 1 + 2 * 3
+        assert "X" in phases and "i" in phases and "C" in phases
+        names = {entry["args"]["name"] for entry in entries
+                 if entry["ph"] == "M"
+                 and entry["name"] == "thread_name"}
+        assert names == {"p0", "arbiter", "log"}
+        assert document["metadata"] == {"app": "t"}
+        span = next(e for e in entries if e["ph"] == "X")
+        assert span["ts"] == 0.0 and span["dur"] == 4.0
+        json.dumps(document)  # must be JSON-serializable as-is
+
+    def test_commit_spans_match_run_stats(self):
+        # The acceptance invariant: the timeline's per-processor commit
+        # spans equal the run's RunStats committed-chunk counts.
+        tracer = EventTracer()
+        recording = _system().record(
+            counter_program(threads=4, increments=15), tracer=tracer)
+        counts = commit_spans_per_track(chrome_trace(tracer.events))
+        for proc, stats in recording.stats.per_processor.items():
+            assert counts.get(f"p{proc}", 0) == stats.chunks_committed
+
+
+class TestJsonlRoundTrip:
+    def test_event_stream_round_trips(self, tmp_path):
+        tracer = EventTracer()
+        _system().record(counter_program(threads=2, increments=10),
+                         tracer=tracer)
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(tracer.events, path)
+        assert load_events_jsonl(path) == tracer.events
+
+
+class TestRunStatsRoundTrip:
+    def test_processor_stats_round_trip(self):
+        recording = _system().record(counter_program(threads=4))
+        for stats in recording.stats.per_processor.values():
+            assert ProcessorStats.from_dict(stats.as_dict()) == stats
+
+    def test_run_stats_round_trip_through_json(self):
+        recording = _system().record(
+            counter_program(threads=4, increments=12))
+        stats = recording.stats
+        blob = json.dumps(stats.as_dict(), sort_keys=True)
+        clone = RunStats.from_dict(json.loads(blob))
+        assert clone == stats
+        assert clone.as_dict() == stats.as_dict()
+        assert clone.ipc == stats.ipc

@@ -1,0 +1,124 @@
+"""Tests for the ``repro trace`` subcommand and the JSONL reporter."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.runner import (
+    ConsoleReporter,
+    JSONLReporter,
+    NullReporter,
+    RunnerMetrics,
+    RunSpec,
+    reporter_from_option,
+)
+from repro.telemetry import commit_spans_per_track
+
+
+class TestTraceParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["trace", "--app", "fft"])
+        assert args.workload == "fft"
+        assert args.mode == "order-only"
+        assert args.phase == "record"
+
+    def test_app_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+
+class TestTraceCommand:
+    def test_acceptance_invocation(self, tmp_path):
+        # The spelling from the issue: --mode orderonly (no dash).
+        out = tmp_path / "trace.json"
+        code = main(["trace", "--mode", "orderonly", "--app", "fft",
+                     "--scale", "0.1", "--out", str(out)])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["metadata"]["mode"] == "order-only"
+        run_stats = document["metadata"]["run_stats"]
+        counts = commit_spans_per_track(document)
+        for proc, stats in run_stats["per_processor"].items():
+            assert counts.get(f"p{proc}", 0) == \
+                stats["chunks_committed"]
+
+    def test_mode_spellings_normalize(self, tmp_path):
+        for spelling in ("order_and_size", "orderandsize",
+                         "order-and-size"):
+            out = tmp_path / f"{spelling}.json"
+            code = main(["trace", "--app", "fft", "--scale", "0.05",
+                         "--mode", spelling, "--out", str(out)])
+            assert code == 0
+            document = json.loads(out.read_text())
+            assert document["metadata"]["mode"] == "order-and-size"
+
+    def test_unknown_mode_is_a_clean_error(self, capsys):
+        code = main(["trace", "--app", "fft", "--mode", "bogus"])
+        assert code == 2
+        assert "unknown mode" in capsys.readouterr().err
+
+    def test_phase_both_verifies_replay(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(["trace", "--app", "fft", "--scale", "0.1",
+                     "--phase", "both", "--out", str(out),
+                     "--events", str(events),
+                     "--metrics", str(metrics)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "replay verified: deterministic" in captured
+        assert "trace matches RunStats" in captured
+        assert events.read_text().count("\n") > 0
+        flat = json.loads(metrics.read_text())
+        assert flat["chunks_committed"] > 0
+
+
+class TestReporterOption:
+    def test_resolution(self):
+        default = ConsoleReporter()
+        assert reporter_from_option(None, default) is default
+        assert isinstance(reporter_from_option("null", default),
+                          NullReporter)
+        assert isinstance(reporter_from_option("console", default),
+                          ConsoleReporter)
+        with pytest.raises(ValueError):
+            reporter_from_option("bogus", default)
+        with pytest.raises(ValueError):
+            reporter_from_option("jsonl:", default)
+
+    def test_jsonl_reporter_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        reporter = reporter_from_option(f"jsonl:{path}",
+                                        ConsoleReporter())
+        assert isinstance(reporter, JSONLReporter)
+        spec = RunSpec.record("fft", "order_only", scale=0.1, seed=1)
+        metrics = RunnerMetrics()
+        reporter.on_start(2)
+        reporter.on_job_start(spec, attempt=1)
+        reporter.on_job_done(spec, from_cache=False, wall_time=0.5,
+                             metrics=metrics)
+        reporter.on_retry(spec, attempt=1, delay=0.1, error="x")
+        reporter.on_job_failed(spec, error="y", metrics=metrics)
+        reporter.on_finish(metrics)
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [line["event"] for line in lines] == [
+            "start", "job_start", "job_done", "retry", "job_failed",
+            "finish"]
+        assert lines[1]["spec"] == spec.label()
+        assert lines[1]["spec_hash"] == spec.content_hash()
+        assert "metrics" in lines[-1]
+
+    def test_bench_cli_writes_jsonl(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = tmp_path / "bench.jsonl"
+        code = main(["modes", "fft", "--scale", "0.05",
+                     "--report", f"jsonl:{path}", "--no-cache"])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert lines[0]["event"] == "start"
+        assert lines[-1]["event"] == "finish"
+        assert any(line["event"] == "job_done" for line in lines)
