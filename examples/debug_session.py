@@ -1,0 +1,136 @@
+"""Time-travel debugging a race, end to end.
+
+``examples/debug_race.py`` shows *why* deterministic replay matters:
+the interleaving-dependent state of a racy counter is pinned down
+bit-exactly.  This example shows *how you chase the bug once it is
+pinned*: open the recording in ``repro.debugger``, put a watchpoint
+on the contended address, run to the read that observed the racing
+value, then step BACKWARD in time to the foreign write that produced
+it -- the exact workflow a forward-only debugger cannot do.
+
+Four threads atomically increment one shared counter; each also loads
+the counter and stashes what it saw.  Under contention a thread's load
+observes increments committed by *other* threads in between its own --
+the "divergent read".  The session below:
+
+1. records the program and confirms (``analysis.races``) that the
+   counter is the most contended line;
+2. sets a read-watchpoint on the counter for one victim thread and
+   continues until a chunk of that thread reads the counter *after*
+   a different processor wrote it -- the divergent read;
+3. reverse-steps, commit by commit, until it lands on that foreign
+   write -- the racing write -- and prints both sides of the race;
+4. jumps back to the divergent read (``goto``) and verifies the
+   observed value is bit-identical, every time.
+
+Reverse steps are not magic: each one restores the nearest periodic
+checkpoint and re-executes forward, so the cost per step is bounded by
+the checkpoint interval, not by how deep into the run you are.
+
+Run:  python examples/debug_session.py
+"""
+
+from repro import DeLoreanSystem, ExecutionMode
+from repro.analysis.races import find_contended_lines
+from repro.debugger import ReplayController
+from repro.workloads.program_builder import ProgramBuilder, shared_address
+
+THREADS = 4
+INCREMENTS = 12
+COUNTER = shared_address(0)
+VICTIM = 1          # the thread whose divergent read we chase
+CHECKPOINT_EVERY = 16
+
+
+def racy_program():
+    builder = ProgramBuilder(THREADS, name="racy-counter")
+    for thread in range(THREADS):
+        writer = builder.writer(thread)
+        for _ in range(INCREMENTS):
+            writer.rmw(COUNTER, 1)    # atomic increment
+            writer.load(COUNTER)      # ...but the value READ here
+            writer.compute(20)        #    depends on the interleaving
+            writer.store(shared_address(64 + thread * 8))
+            writer.compute(60)
+    return builder.build()
+
+
+def racing_write_before(controller, stop):
+    """Reverse-step from ``stop`` until a commit by another processor
+    that wrote the counter; returns (racing StopInfo, commits walked).
+    Returns (None, walked) if the victim's own write is reached first.
+    """
+    walked = 0
+    while controller.gcc > 0:
+        stop = controller.rstep()
+        walked += 1
+        view = stop.commit
+        if view is None or COUNTER not in view.writes:
+            continue
+        if view.proc == VICTIM:
+            return None, walked       # no foreign write in between
+        return stop, walked
+    return None, walked
+
+
+def main() -> None:
+    program = racy_program()
+    system = DeLoreanSystem(mode=ExecutionMode.ORDER_ONLY,
+                            chunk_size=40)
+    recording = system.record(program)
+    print(f"recorded {len(recording.fingerprints)} chunk commits; "
+          f"final counter = {recording.final_memory[COUNTER]}")
+
+    report = find_contended_lines(recording, include_dma=False)
+    hottest = report.lines[0]
+    print(f"most contended line: 0x{hottest.address:x} "
+          f"({len(hottest.events)} writes by {len(hottest.writers)} "
+          f"processors) -- the counter, as expected\n")
+
+    controller = ReplayController(recording,
+                                  checkpoint_every=CHECKPOINT_EVERY)
+    controller.breakpoints.add("read", proc=VICTIM, address=COUNTER)
+    print(f"(repro-dbg) watch read 0x{COUNTER:x}  [p{VICTIM} only]")
+
+    while True:
+        stop = controller.cont()
+        if stop.reason != "breakpoint":
+            raise SystemExit("no divergent read found -- the run was "
+                             "race-free at this timing, try more "
+                             "threads or increments")
+        read_gcc = stop.gcc
+        seen = controller.read_word(COUNTER)
+        racing, walked = racing_write_before(controller, stop)
+        if racing is None:
+            # Only the victim's own increment precedes this read:
+            # not the race.  Return to the read and keep searching.
+            controller.goto(read_gcc)
+            continue
+        break
+
+    view = racing.commit
+    print(f"[gcc {read_gcc}] p{VICTIM} read the counter: "
+          f"0x{COUNTER:x} = {seen}")
+    print(f"  rstep x{walked} ...")
+    print(f"[gcc {racing.gcc}] RACING WRITE: p{view.proc} chunk "
+          f"{view.seq} wrote 0x{COUNTER:x} = "
+          f"{view.writes[COUNTER]}")
+
+    before = racing.gcc - 1
+    controller.goto(before)
+    print(f"[gcc {before}] goto: counter before the racing write = "
+          f"{controller.read_word(COUNTER)} "
+          f"(re-executed {controller.last_reexecuted} commits, "
+          f"interval is {CHECKPOINT_EVERY})")
+
+    back = controller.goto(read_gcc)
+    again = controller.read_word(COUNTER)
+    assert back.gcc == read_gcc and again == seen, (back.gcc, again)
+    print(f"[gcc {read_gcc}] goto: back at the divergent read, "
+          f"counter = {again} -- bit-identical, every time")
+    print("\nForward-only debuggers replay the failure; a recorded "
+          "execution lets you walk it backward to the cause.")
+
+
+if __name__ == "__main__":
+    main()

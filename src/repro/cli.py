@@ -357,6 +357,35 @@ def _cmd_bench(args) -> int:
     return 0 if not failures else 1
 
 
+def _cmd_debug(args) -> int:
+    from repro.debugger import (
+        DebuggerShell,
+        ReplayController,
+        load_recording_artifact,
+    )
+
+    recording = load_recording_artifact(args.artifact)
+    controller = ReplayController(
+        recording,
+        checkpoint_every=args.checkpoint_every,
+        verify=not args.no_verify,
+    )
+    print(f"loaded {recording.program.name}: "
+          f"{len(recording.fingerprints)} commits, mode "
+          f"{recording.mode_config.mode.name}")
+    if args.script:
+        with open(args.script, encoding="utf-8") as handle:
+            shell = DebuggerShell(controller,
+                                  session_log=args.session_log,
+                                  stdin=handle)
+            shell.cmdloop()
+    else:
+        shell = DebuggerShell(controller,
+                              session_log=args.session_log)
+        shell.cmdloop()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -504,6 +533,29 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("left")
     diff.add_argument("right")
     diff.set_defaults(func=_cmd_diff)
+
+    debug = sub.add_parser(
+        "debug",
+        help="time-travel debug a recording (interactive REPL over "
+             "deterministic replay)")
+    debug.add_argument("artifact",
+                       help="a .dlrn recording or a runner record "
+                            "artifact (JSON)")
+    debug.add_argument("--script", metavar="FILE",
+                       help="run debugger commands from FILE instead "
+                            "of interactively")
+    debug.add_argument("--session-log", metavar="JSONL",
+                       help="append a JSONL record of the session "
+                            "(commands, stops, printed state)")
+    debug.add_argument("--checkpoint-every", type=int, default=64,
+                       metavar="N",
+                       help="debug-time restore points every N commits"
+                            " (default 64); reverse steps re-execute "
+                            "at most N-1 commits")
+    debug.add_argument("--no-verify", action="store_true",
+                       help="skip per-commit fingerprint verification "
+                            "against the recording")
+    debug.set_defaults(func=_cmd_debug)
     return parser
 
 

@@ -131,6 +131,7 @@ class RoundRobinPolicy:
         is_active: Callable[[int], bool],
         slot_gate: Callable[[int], int | None] | None = None,
         grant_count: Callable[[], int] | None = None,
+        dma_hold: Callable[[], bool] | None = None,
         hop_cycles: float = 0.0,
         wakeup: Callable[[float], None] | None = None,
     ) -> None:
@@ -138,6 +139,12 @@ class RoundRobinPolicy:
         self.is_active = is_active
         self.slot_gate = slot_gate or (lambda proc: None)
         self.grant_count = grant_count or (lambda: 0)
+        # Replay only: while a recorded DMA burst is due at the current
+        # commit slot, no processor grant may be issued -- the recorded
+        # order places the DMA *before* the next chunk, and the machine
+        # can only apply it against a quiescent commit pipeline.
+        # Granting past it would push the burst one slot late.
+        self.dma_hold = dma_hold or (lambda: False)
         # Physical token-passing latency: the commit token takes
         # ``hop_cycles`` to travel to the next processor (Table 6's
         # token roundtrips are hundreds to thousands of cycles).
@@ -188,6 +195,8 @@ class RoundRobinPolicy:
                now: float) -> Chunk | None:
         """The oldest pending request of the token holder, if any and
         if it does not conflict with an in-flight commit."""
+        if self.dma_hold():
+            return None  # a recorded DMA burst owns this commit slot
         if not self._skip_idle(now):
             return None
         if now < self.pointer_since:

@@ -224,6 +224,19 @@ class ReplaySource:
         """Advance the PicoLog DMA slot cursor."""
         self._dma_slot_cursor += 1
 
+    def cursors(self) -> dict:
+        """Absolute log-cursor positions (debugger/checkpoint support).
+
+        All cursors count from the start of the *recording*, even for a
+        source fast-forwarded by an interval checkpoint, so a snapshot
+        of them can seed a new :class:`IntervalCheckpoint` directly.
+        """
+        return {
+            "io": dict(self._io_cursor),
+            "dma": self._dma_cursor,
+            "interrupt": dict(self._interrupt_cursor),
+        }
+
     def verify_fully_consumed(self) -> list[str]:
         """End-of-replay audit: every log cursor must be at its end.
         Returns a list of problems (empty when clean)."""

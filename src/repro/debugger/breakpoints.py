@@ -1,0 +1,153 @@
+"""Breakpoints and watchpoints at chunk-commit granularity.
+
+DeLorean's replay is a sequence of *global commits* (processor chunks
+and DMA bursts), so the natural debugger grain is the commit, not the
+instruction: a breakpoint fires when the commit that just linearized
+matches the condition.  Watchpoints follow the machine's own visibility
+rules -- writes are word-precise (the commit's write buffer), reads are
+line-granular (the chunk's read set, which is what the hardware
+signatures track).
+
+Every breakpoint takes an optional ``when`` predicate over the
+:class:`~repro.debugger.controller.CommitView`; the breakpoint fires
+only when both the structural condition and the predicate hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+
+#: The structural conditions a breakpoint can express.
+KINDS = ("commit", "write", "read", "squash", "interrupt", "dma",
+         "divergence")
+
+
+@dataclass
+class Breakpoint:
+    """One break/watch condition, evaluated at every commit boundary.
+
+    ``proc`` restricts ``commit``/``squash``/``interrupt`` kinds to one
+    processor (None = any).  ``address`` is the watched word for
+    ``write`` and ``read`` kinds.  ``when`` is an arbitrary predicate
+    over the commit view, AND-ed with the structural condition.
+    """
+
+    number: int
+    kind: str
+    proc: int | None = None
+    address: int | None = None
+    when: Optional[Callable] = None
+    enabled: bool = True
+    temporary: bool = False
+    hits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown breakpoint kind {self.kind!r} "
+                f"(expected one of {', '.join(KINDS)})")
+        if self.kind in ("write", "read") and self.address is None:
+            raise ConfigurationError(
+                f"{self.kind} watchpoints need an address")
+
+    def matches(self, view, line_of: Callable[[int], int]) -> bool:
+        """Does this breakpoint fire on ``view``?  (``divergence``
+        breakpoints are matched by the controller, not here.)"""
+        if not self.enabled:
+            return False
+        hit = False
+        if self.kind == "commit":
+            hit = (not view.is_dma
+                   and (self.proc is None or view.proc == self.proc))
+        elif self.kind == "dma":
+            hit = view.is_dma
+        elif self.kind == "write":
+            hit = self.address in view.writes
+        elif self.kind == "read":
+            hit = line_of(self.address) in view.read_lines
+        elif self.kind == "squash":
+            hit = any(self.proc is None or proc == self.proc
+                      for proc, _, _ in view.squashes)
+        elif self.kind == "interrupt":
+            hit = any(self.proc is None or proc == self.proc
+                      for proc, _ in view.interrupts)
+        if hit and self.when is not None:
+            hit = bool(self.when(view))
+        return hit
+
+    def describe(self) -> str:
+        """One-line rendering for ``info breaks``."""
+        parts = [f"#{self.number}", self.kind]
+        if self.address is not None:
+            parts.append(f"0x{self.address:x}")
+        if self.proc is not None:
+            parts.append(f"p{self.proc}")
+        if self.when is not None:
+            parts.append("when=<predicate>")
+        if self.temporary:
+            parts.append("(temporary)")
+        if not self.enabled:
+            parts.append("(disabled)")
+        parts.append(f"hits={self.hits}")
+        return " ".join(parts)
+
+
+@dataclass
+class BreakpointTable:
+    """The debugger's breakpoint set (numbered, GDB-style)."""
+
+    breakpoints: list[Breakpoint] = field(default_factory=list)
+    _next_number: int = 1
+
+    def add(self, kind: str, proc: int | None = None,
+            address: int | None = None,
+            when: Optional[Callable] = None,
+            temporary: bool = False) -> Breakpoint:
+        """Create and register a breakpoint; returns it."""
+        bp = Breakpoint(number=self._next_number, kind=kind, proc=proc,
+                        address=address, when=when, temporary=temporary)
+        self._next_number += 1
+        self.breakpoints.append(bp)
+        return bp
+
+    def remove(self, number: int) -> bool:
+        """Delete breakpoint ``number``; False when absent."""
+        before = len(self.breakpoints)
+        self.breakpoints = [bp for bp in self.breakpoints
+                            if bp.number != number]
+        return len(self.breakpoints) < before
+
+    def clear(self) -> None:
+        """Delete every breakpoint."""
+        self.breakpoints.clear()
+
+    def __len__(self) -> int:
+        return len(self.breakpoints)
+
+    def __iter__(self):
+        return iter(self.breakpoints)
+
+    def matches(self, view, line_of) -> list[Breakpoint]:
+        """All breakpoints firing on ``view``, hit counts updated;
+        temporary hits are removed after matching."""
+        hits = [bp for bp in self.breakpoints
+                if bp.kind != "divergence" and bp.matches(view, line_of)]
+        for bp in hits:
+            bp.hits += 1
+        if any(bp.temporary for bp in hits):
+            self.breakpoints = [
+                bp for bp in self.breakpoints
+                if not (bp.temporary and bp in hits)]
+        return hits
+
+    def divergence_breakpoints(self) -> list[Breakpoint]:
+        """Enabled ``divergence`` breakpoints (hit counting only; a
+        divergence always stops the controller regardless)."""
+        hits = [bp for bp in self.breakpoints
+                if bp.kind == "divergence" and bp.enabled]
+        for bp in hits:
+            bp.hits += 1
+        return hits

@@ -1,0 +1,54 @@
+"""Loading recordings into the debugger from any artifact on disk.
+
+Two formats reach the debugger: the CLI's raw ``.dlrn`` container
+(``repro record -o app.dlrn``) and the runner's JSON artifact documents
+(content-addressed cache entries / report payloads, where a record
+artifact carries the ``.dlrn`` blob base64-encoded under
+``payload_codec: "dlrn"``).  The sniffing is structural, not
+extension-based: JSON artifacts start with ``{``, the binary container
+starts with its magic.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.recorder import Recording
+from repro.core.serialization import load_recording
+from repro.errors import ReproError
+from repro.runner.jobs import recording_from_artifact
+
+
+def load_recording_artifact(path: str) -> Recording:
+    """A :class:`Recording` from a ``.dlrn`` file or a runner record
+    artifact (JSON document)."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if not blob:
+        raise ReproError(f"{path} is empty")
+    if blob.lstrip()[:1] == b"{":
+        try:
+            artifact = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ReproError(
+                f"{path} looks like JSON but does not parse: {error}")
+        return _from_artifact_doc(artifact, path)
+    return load_recording(blob)
+
+
+def _from_artifact_doc(artifact: dict, path: str) -> Recording:
+    if not isinstance(artifact, dict):
+        raise ReproError(
+            f"{path}: expected an artifact object, got "
+            f"{type(artifact).__name__}")
+    # Cache envelopes wrap the artifact under "artifact".
+    if "payload_codec" not in artifact and \
+            isinstance(artifact.get("artifact"), dict):
+        artifact = artifact["artifact"]
+    codec = artifact.get("payload_codec")
+    if codec != "dlrn":
+        raise ReproError(
+            f"{path} is not a record artifact (payload_codec "
+            f"{codec!r}; the debugger replays recordings, so pass the "
+            f"record artifact or a .dlrn file)")
+    return recording_from_artifact(artifact)

@@ -1,0 +1,343 @@
+"""The interactive ``repro debug`` shell.
+
+A thin :mod:`cmd`-based front end over
+:class:`~repro.debugger.controller.ReplayController`: every command
+maps onto a controller operation, so anything the REPL can do a script
+can do through the Python API.  The shell optionally appends a JSONL
+session log -- one object per command plus one per resulting stop or
+printed value -- which is what the CI smoke job uploads as its
+artifact.
+
+::
+
+    (repro-dbg) watch 0x40
+    watchpoint #1: write 0x40
+    (repro-dbg) run
+    [gcc 17] breakpoint #1: p2 c5 (41 instr) wrote 0x40=3
+    (repro-dbg) rstep
+    [gcc 16] goto: p0 c6 (38 instr) ...
+    (repro-dbg) print 0x40
+    0x40 = 2
+"""
+
+from __future__ import annotations
+
+import cmd
+import json
+
+from repro.debugger.controller import ReplayController, StopInfo
+from repro.errors import ReproError
+from repro.telemetry.perfetto import write_chrome_trace
+from repro.telemetry.tracer import EventTracer
+
+
+def _parse_int(text: str, what: str = "number") -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise ReproError(f"{what} must be an integer (got {text!r})")
+
+
+def _parse_proc(token: str) -> int:
+    if token.startswith("p") and token[1:].isdigit():
+        return int(token[1:])
+    return _parse_int(token, "processor")
+
+
+class DebuggerShell(cmd.Cmd):
+    """Interactive (or scripted) time-travel debugging session."""
+
+    intro = ("repro time-travel debugger -- type 'help' for commands, "
+             "'quit' to leave")
+    prompt = "(repro-dbg) "
+
+    def __init__(self, controller: ReplayController,
+                 session_log: str | None = None,
+                 stdin=None, stdout=None) -> None:
+        super().__init__(stdin=stdin, stdout=stdout)
+        if stdin is not None:
+            self.use_rawinput = False
+        self.controller = controller
+        self._session = (open(session_log, "a", encoding="utf-8")
+                         if session_log else None)
+        self._trace_path: str | None = None
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self.stdout.write(text + "\n")
+
+    def _log(self, **entry) -> None:
+        if self._session is None:
+            return
+        self._session.write(json.dumps(entry, default=repr) + "\n")
+        self._session.flush()
+
+    def _show_stop(self, stop: StopInfo | None) -> None:
+        if stop is None:
+            self._emit(f"[gcc {self.controller.gcc}] (no stop)")
+            return
+        self._emit(stop.describe())
+        self._log(event="stop", reason=stop.reason, gcc=stop.gcc,
+                  breakpoints=[bp.number for bp in stop.breakpoints],
+                  message=stop.message)
+
+    def precmd(self, line: str) -> str:
+        if line and line.split()[0] != "EOF":
+            self._log(event="command", line=line)
+        return line
+
+    def onecmd(self, line: str) -> bool:
+        try:
+            return super().onecmd(line)
+        except ReproError as error:
+            self._emit(f"error: {error}")
+            self._log(event="error", message=str(error))
+            return False
+
+    def emptyline(self) -> bool:
+        return False
+
+    def default(self, line: str) -> bool:
+        self._emit(f"unknown command: {line!r} (try 'help')")
+        return False
+
+    # ------------------------------------------------------------------
+    # Motion
+    # ------------------------------------------------------------------
+
+    def do_run(self, arg: str) -> bool:
+        """run -- replay forward until a breakpoint fires or the
+        recording ends (alias: continue, c)."""
+        self._show_stop(self.controller.cont())
+        return False
+
+    def do_continue(self, arg: str) -> bool:
+        """continue -- alias for run."""
+        return self.do_run(arg)
+
+    def do_c(self, arg: str) -> bool:
+        """c -- alias for run."""
+        return self.do_run(arg)
+
+    def do_step(self, arg: str) -> bool:
+        """step [N] -- advance exactly N global commits (default 1)."""
+        count = _parse_int(arg.strip(), "step count") if arg.strip() \
+            else 1
+        self._show_stop(self.controller.step(count))
+        return False
+
+    def do_s(self, arg: str) -> bool:
+        """s -- alias for step."""
+        return self.do_step(arg)
+
+    def do_rstep(self, arg: str) -> bool:
+        """rstep [N] -- step backward exactly N commits (default 1)."""
+        count = _parse_int(arg.strip(), "rstep count") if arg.strip() \
+            else 1
+        self._show_stop(self.controller.rstep(count))
+        return False
+
+    def do_rs(self, arg: str) -> bool:
+        """rs -- alias for rstep."""
+        return self.do_rstep(arg)
+
+    def do_goto(self, arg: str) -> bool:
+        """goto GCC -- land exactly on a global commit count."""
+        if not arg.strip():
+            raise ReproError("goto needs a target GCC")
+        self._show_stop(
+            self.controller.goto(_parse_int(arg.strip(), "gcc")))
+        return False
+
+    # ------------------------------------------------------------------
+    # Breakpoints
+    # ------------------------------------------------------------------
+
+    def do_break(self, arg: str) -> bool:
+        """break commit [pN] | dma | squash [pN] | interrupt [pN] |
+        divergence -- break on the matching global commit.  With no
+        arguments, lists breakpoints."""
+        tokens = arg.split()
+        if not tokens:
+            return self.do_info("breaks")
+        kind = tokens[0]
+        proc = _parse_proc(tokens[1]) if len(tokens) > 1 else None
+        bp = self.controller.breakpoints.add(kind, proc=proc)
+        self._emit(f"breakpoint {bp.describe()}")
+        self._log(event="breakpoint", number=bp.number, kind=kind,
+                  proc=proc)
+        return False
+
+    def do_watch(self, arg: str) -> bool:
+        """watch ADDR | watch read ADDR -- stop when a commit writes
+        the word (write watch) or reads its line (read watch)."""
+        tokens = arg.split()
+        if not tokens:
+            raise ReproError("watch needs an address")
+        kind = "write"
+        if tokens[0] == "read":
+            kind = "read"
+            tokens = tokens[1:]
+        elif tokens[0] == "write":
+            tokens = tokens[1:]
+        if not tokens:
+            raise ReproError("watch needs an address")
+        address = _parse_int(tokens[0], "address")
+        bp = self.controller.breakpoints.add(kind, address=address)
+        self._emit(f"watchpoint {bp.describe()}")
+        self._log(event="watchpoint", number=bp.number, kind=kind,
+                  address=address)
+        return False
+
+    def do_delete(self, arg: str) -> bool:
+        """delete [N] -- remove breakpoint N (all when omitted)."""
+        if not arg.strip():
+            self.controller.breakpoints.clear()
+            self._emit("all breakpoints deleted")
+            return False
+        number = _parse_int(arg.strip(), "breakpoint number")
+        if self.controller.breakpoints.remove(number):
+            self._emit(f"deleted breakpoint #{number}")
+        else:
+            self._emit(f"no breakpoint #{number}")
+        return False
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def do_print(self, arg: str) -> bool:
+        """print ADDR [COUNT] -- committed memory words at the current
+        GCC (alias: p)."""
+        tokens = arg.split()
+        if not tokens:
+            raise ReproError("print needs an address")
+        address = _parse_int(tokens[0], "address")
+        count = _parse_int(tokens[1], "count") if len(tokens) > 1 else 1
+        for offset in range(count):
+            word = address + offset * 8
+            value = self.controller.read_word(word)
+            self._emit(f"0x{word:x} = {value}")
+            self._log(event="print", address=word, value=value,
+                      gcc=self.controller.gcc)
+        return False
+
+    def do_p(self, arg: str) -> bool:
+        """p -- alias for print."""
+        return self.do_print(arg)
+
+    def do_threads(self, arg: str) -> bool:
+        """threads -- committed per-processor state at the current
+        GCC."""
+        rows = self.controller.thread_summary()
+        for row in rows:
+            flags = []
+            if row["in_handler"]:
+                flags.append("handler")
+            if row["finished"]:
+                flags.append("finished")
+            suffix = f" [{', '.join(flags)}]" if flags else ""
+            self._emit(
+                f"p{row['proc']}: {row['committed_chunks']} chunks "
+                f"committed, op {row['op_index']}, acc "
+                f"{row['accumulator']}, {row['speculative_chunks']} "
+                f"speculative{suffix}")
+        self._log(event="threads", gcc=self.controller.gcc, rows=rows)
+        return False
+
+    def do_logs(self, arg: str) -> bool:
+        """logs -- input-log cursor positions at the current GCC."""
+        cursors = self.controller.log_cursors()
+        io = ", ".join(f"p{proc}:{used}" for proc, used
+                       in sorted(cursors["io"].items()))
+        irq = ", ".join(f"p{proc}:{used}" for proc, used
+                        in sorted(cursors["interrupt"].items()))
+        self._emit(f"io: {io or '-'}")
+        self._emit(f"dma: {cursors['dma']}")
+        self._emit(f"interrupt: {irq or '-'}")
+        self._log(event="logs", gcc=self.controller.gcc,
+                  cursors=cursors)
+        return False
+
+    def do_where(self, arg: str) -> bool:
+        """where -- current position and last stop."""
+        controller = self.controller
+        self._emit(f"gcc {controller.gcc} of "
+                   f"{controller.total_commits}"
+                   + (" (finished)" if controller.finished else ""))
+        if controller.current is not None:
+            self._emit(f"last commit: {controller.current.describe()}")
+        return False
+
+    def do_info(self, arg: str) -> bool:
+        """info -- breakpoints, checkpoints and position."""
+        table = self.controller.breakpoints
+        if len(table) == 0:
+            self._emit("no breakpoints")
+        for bp in table:
+            self._emit(bp.describe())
+        positions = self.controller.checkpoints.positions()
+        self._emit(f"checkpoints at gcc: {[0] + positions}")
+        return self.do_where(arg)
+
+    def do_checkpoints(self, arg: str) -> bool:
+        """checkpoints -- restore points available for goto/rstep."""
+        positions = self.controller.checkpoints.positions()
+        self._emit(f"checkpoints at gcc: {[0] + positions} "
+                   f"(interval {self.controller.checkpoints.interval})")
+        return False
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def do_trace(self, arg: str) -> bool:
+        """trace on [PATH] | trace off -- capture debugger telemetry;
+        on quit the Perfetto trace is written to PATH (default
+        debug-session-trace.json).  Machine-level spans attach from the
+        next rebuild (goto/rstep) onward."""
+        tokens = arg.split()
+        if not tokens or tokens[0] not in ("on", "off"):
+            raise ReproError("usage: trace on [PATH] | trace off")
+        if tokens[0] == "on":
+            if not self.controller.tracer.enabled:
+                self.controller.tracer = EventTracer()
+            self._trace_path = (tokens[1] if len(tokens) > 1
+                                else "debug-session-trace.json")
+            self._emit(f"tracing on -> {self._trace_path}")
+        else:
+            self._flush_trace()
+            self._emit("tracing off")
+        return False
+
+    def _flush_trace(self) -> None:
+        tracer = self.controller.tracer
+        if self._trace_path and tracer.enabled and tracer.events:
+            write_chrome_trace(list(tracer.events), self._trace_path)
+            self._emit(f"wrote {len(tracer.events)} trace events to "
+                       f"{self._trace_path}")
+        self._trace_path = None
+
+    # ------------------------------------------------------------------
+    # Exit
+    # ------------------------------------------------------------------
+
+    def do_quit(self, arg: str) -> bool:
+        """quit -- end the session."""
+        self._flush_trace()
+        self._log(event="quit", gcc=self.controller.gcc)
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+        return True
+
+    def do_q(self, arg: str) -> bool:
+        """q -- alias for quit."""
+        return self.do_quit(arg)
+
+    def do_EOF(self, arg: str) -> bool:
+        """End of input ends the session."""
+        return self.do_quit(arg)

@@ -9,10 +9,15 @@ plus per-thread architectural state and commit counts -- and can seed a
 fresh machine so that replay starts from exactly the checkpointed
 state.
 
-The replay drivers in this repository always replay whole executions
-(checkpoint at GCC = 0, in the paper's terms), but the checkpoint
-object itself captures any quiescent point and is unit-tested for
-capture/restore identity.
+The whole-execution replay drivers replay from GCC = 0 (in the paper's
+terms), but the checkpoint object captures any committed commit
+boundary: :meth:`SystemCheckpoint.capture` snapshots a quiescent
+machine, :meth:`SystemCheckpoint.capture_committed` snapshots the
+*committed* view of a machine paused mid-execution (the debugger's
+case: speculation may be in flight, but committed state is exact at a
+commit boundary), and :meth:`SystemCheckpoint.to_interval` bridges into
+the replayer's ``start_checkpoint`` path so a mid-execution checkpoint
+can seed an interval replay I(n, m).
 """
 
 from __future__ import annotations
@@ -25,13 +30,23 @@ from repro.machine.program import Program, ThreadState
 
 @dataclass(frozen=True)
 class SystemCheckpoint:
-    """Committed architectural state at one global commit boundary."""
+    """Committed architectural state at one global commit boundary.
+
+    ``global_commit_count`` is the boundary's GCC -- logical commits in
+    grant order including DMA bursts, i.e. the position in the
+    recording's fingerprint sequence.  ``io_consumed`` and
+    ``dma_consumed`` are the input-log consumption cursors at that
+    boundary; they are what lets a mid-execution checkpoint resume
+    consuming every log mid-stream (zero for the GCC = 0 checkpoint).
+    """
 
     memory_image: dict[int, int]
     thread_states: dict[int, ThreadState]
     committed_counts: dict[int, int]
     global_commit_count: int = 0
     label: str = "gcc0"
+    io_consumed: dict[int, int] = field(default_factory=dict)
+    dma_consumed: int = 0
 
     @classmethod
     def initial(cls, program: Program) -> "SystemCheckpoint":
@@ -55,7 +70,9 @@ class SystemCheckpoint:
 
         The machine must be quiescent at a commit boundary (no
         speculative chunks in flight); capturing mid-speculation would
-        leak uncommitted state into the checkpoint.
+        leak uncommitted state into the checkpoint.  For a machine
+        paused mid-execution with speculation in flight, use
+        :meth:`capture_committed` instead.
         """
         for proc in machine.processors:
             if proc.outstanding:
@@ -63,16 +80,95 @@ class SystemCheckpoint:
                     f"cannot checkpoint: processor {proc.proc_id} has "
                     f"{len(proc.outstanding)} speculative chunks in "
                     f"flight")
+        return cls.capture_committed(machine, label=label)
+
+    @classmethod
+    def capture_committed(cls, machine, label: str = "capture") -> \
+            "SystemCheckpoint":
+        """Snapshot the *committed* view of a machine at a commit
+        boundary, tolerating speculative chunks in flight.
+
+        A processor's committed architectural state is the start state
+        of its oldest uncommitted chunk (speculation builds linearly
+        from the committed frontier; squash rolls back to it), or its
+        live state when nothing is outstanding.  Committed memory is
+        exact because speculative stores live in per-chunk write
+        buffers until commit.  This is how the debugger checkpoints a
+        paused replay: it always pauses at the finalization of a
+        global commit, where committed state is precisely the first
+        GCC commits.
+        """
+        base = 0
+        gcc_local = len(machine._fingerprints)
+        io_consumed: dict[int, int] = {}
+        dma_consumed = 0
+        if machine.is_replay:
+            cursors = machine.replay_source.cursors()
+            io_consumed = cursors["io"]
+            dma_consumed = cursors["dma"]
+            if machine.start_checkpoint is not None:
+                base = machine.start_checkpoint.commit_index
+        elif machine.recorder is not None:
+            io_consumed = {
+                proc: len(log)
+                for proc, log in machine.recorder.io_logs.items()}
+            dma_consumed = len(machine.recorder.dma_log.entries)
+        thread_states = {}
+        for proc in machine.processors:
+            if proc.outstanding:
+                state = proc.outstanding[0].start_state.snapshot()
+            else:
+                state = proc.spec_state.snapshot()
+            thread_states[proc.proc_id] = state
         return cls(
             memory_image=machine.memory.snapshot(),
-            thread_states={
-                proc.proc_id: proc.spec_state.snapshot()
-                for proc in machine.processors},
+            thread_states=thread_states,
             committed_counts={
                 proc.proc_id: proc.committed_count
                 for proc in machine.processors},
-            global_commit_count=machine.arbiter.grant_count,
+            global_commit_count=base + gcc_local,
             label=label,
+            io_consumed=io_consumed,
+            dma_consumed=dma_consumed,
+        )
+
+    def to_interval(self) -> "IntervalCheckpoint":
+        """Bridge into the replayer's ``start_checkpoint`` path.
+
+        The resulting :class:`~repro.core.interval.IntervalCheckpoint`
+        seeds :meth:`DeLoreanSystem.replay_interval` /
+        ``build_replay_machine`` so replay resumes at this boundary --
+        the mechanism behind the debugger's ``goto``/``rstep``.
+        """
+        from repro.core.interval import IntervalCheckpoint
+
+        return IntervalCheckpoint(
+            commit_index=self.global_commit_count,
+            memory_image=dict(self.memory_image),
+            thread_states={
+                proc: state.snapshot()
+                for proc, state in self.thread_states.items()},
+            committed_counts=dict(self.committed_counts),
+            io_consumed=dict(self.io_consumed),
+            dma_consumed=self.dma_consumed,
+            label=self.label or f"gcc{self.global_commit_count}",
+        )
+
+    @classmethod
+    def from_interval(cls, checkpoint) -> "SystemCheckpoint":
+        """The inverse bridge (an
+        :class:`~repro.core.interval.IntervalCheckpoint` as a
+        :class:`SystemCheckpoint`)."""
+        return cls(
+            memory_image=dict(checkpoint.memory_image),
+            thread_states={
+                proc: state.snapshot()
+                for proc, state in checkpoint.thread_states.items()},
+            committed_counts=dict(checkpoint.committed_counts),
+            global_commit_count=checkpoint.commit_index,
+            label=checkpoint.label or f"gcc{checkpoint.commit_index}",
+            io_consumed=dict(checkpoint.io_consumed),
+            dma_consumed=checkpoint.dma_consumed,
         )
 
     def restore_into(self, machine) -> None:

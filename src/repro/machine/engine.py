@@ -92,6 +92,26 @@ class EventEngine:
                     f"simulation exceeded {max_events} events at cycle "
                     f"{self._now:.0f}; the machine is likely livelocked")
 
+    def step(self) -> bool:
+        """Dispatch exactly one queued event.
+
+        Returns False (without advancing time) when the queue is empty.
+        This is the debugger's drive primitive: the replay controller
+        pumps events one at a time so it can pause the machine at an
+        exact commit boundary instead of running to completion.
+        """
+        if not self._queue:
+            return False
+        time, _, _, action = heapq.heappop(self._queue)
+        self._now = time
+        action()
+        self._processed += 1
+        if (self.dispatch_hook is not None
+                and self._processed % self.dispatch_stride == 0):
+            self.dispatch_hook(self._now, len(self._queue),
+                               self._processed)
+        return True
+
     def pending(self) -> int:
         """Number of events still queued."""
         return len(self._queue)

@@ -207,6 +207,17 @@ class ChunkMachine:
         self._stall_since: dict[int, float | None] = {
             p.proc_id: None for p in self.processors}
         self._finished = False
+        self._started = False
+        # Debugger hook: an object with ``on_commit(chunk, fingerprint,
+        # count)``, ``on_dma(writes, fingerprint, count)``,
+        # ``on_squash(proc, victim_seqs, cause)`` and
+        # ``on_interrupt(proc, event)`` methods (see
+        # :mod:`repro.debugger.controller`).  ``on_commit``/``on_dma``
+        # fire at the exact linearization point of each global commit:
+        # committed memory holds precisely the first ``count`` commits'
+        # writes, so an observer that pauses the machine there sees the
+        # architectural state at that GCC.  None when unobserved.
+        self.observer = None
         # Interval replay (Appendix B): restore the checkpointed
         # committed state once everything else is wired.
         if start_checkpoint is not None:
@@ -247,6 +258,12 @@ class ChunkMachine:
                     slot_gate=lambda proc: self.replay_source.gate_for(
                         proc, self.processors[proc].committed_count),
                     grant_count=lambda: self.arbiter.grant_count,
+                    # Recorded DMA bursts own their commit slot: no
+                    # processor grant may overtake a due burst (it is
+                    # applied by _drain_replay_dma once the pipeline
+                    # quiesces, keeping the recorded global order).
+                    dma_hold=lambda: self.replay_source.dma_due_at_slot(
+                        self.arbiter.grant_count),
                     hop_cycles=self.config.token_hop_cycles * hop_scale,
                     wakeup=token_wakeup,
                 )
@@ -389,10 +406,19 @@ class ChunkMachine:
     # Run loop
     # ------------------------------------------------------------------
 
-    def run(self, max_events: int | None = None) -> RunResult:
-        """Execute the program to completion; returns the run capture."""
-        if self._finished:
+    def start(self, max_events: int | None = None) -> int:
+        """Arm the machine without draining the event queue.
+
+        Schedules the external-event streams (record phase), builds the
+        first chunks, and applies any replay DMA due at GCC 0.  Returns
+        the event budget for the run.  :meth:`run` calls this and then
+        drains the queue; the debugger's replay controller calls it and
+        then pumps :meth:`EventEngine.step` itself so it can pause at
+        exact commit boundaries.
+        """
+        if self._finished or self._started:
             raise ConfigurationError("a ChunkMachine runs only once")
+        self._started = True
         if max_events is None:
             ops = self.program.total_static_ops()
             max_events = 500_000 + 200 * ops
@@ -405,12 +431,55 @@ class ChunkMachine:
                 self.engine.schedule_at(
                     transfer.time,
                     lambda t=transfer: self._dma_arrive(t))
+        for proc in self.processors:
+            self._kick(proc.proc_id)
+        if self.is_replay:
+            self._drain_replay_dma()
+        return max_events
+
+    def pause_at_boundary(self) -> None:
+        """Debugger support: freeze the commit pipeline at the current
+        global commit boundary.
+
+        Called from an observer's ``on_commit``/``on_dma`` while the
+        finalizing dispatch is still on the stack: granting stops,
+        replay DMA draining stops, and chunk building stops, so no
+        further commit can finalize.  Events already scheduled stay
+        queued -- whoever drives the engine must stop dispatching (the
+        controller's pump loop checks :attr:`paused` after every
+        :meth:`EventEngine.step`).  :meth:`resume_from_boundary`
+        reverses the pause exactly.
+        """
+        self._stopped = True
+        self.arbiter.halt()
+
+    @property
+    def paused(self) -> bool:
+        """True while the machine is paused at a commit boundary."""
+        return self._stopped
+
+    def resume_from_boundary(self) -> None:
+        """Debugger support: undo :meth:`pause_at_boundary`.
+
+        Re-opens the arbiter, rebuilds any chunks the pause blocked,
+        and re-arbitrates.  The machine continues exactly where it
+        stopped: in-flight events were never cancelled, only left
+        undispatched.
+        """
+        self._stopped = False
+        self.arbiter.halted = False
+        for proc in self.processors:
+            self._kick(proc.proc_id)
+        if self.is_replay:
+            self._drain_replay_dma()
+        else:
+            self.arbiter.try_grant(self.engine.now)
+
+    def run(self, max_events: int | None = None) -> RunResult:
+        """Execute the program to completion; returns the run capture."""
         try:
-            for proc in self.processors:
-                self._kick(proc.proc_id)
-            if self.is_replay:
-                self._drain_replay_dma()
-            self.engine.run(max_events)
+            budget = self.start(max_events)
+            self.engine.run(budget)
             self._check_drained()
         except (ReplayDivergenceError, DeadlockError) as error:
             # Snapshot the partial run for the forensics layer before
@@ -493,6 +562,8 @@ class ChunkMachine:
                     proc_id, proc.next_seq)
                 if event is not None:
                     proc.pending_handlers.append(event)
+                    if self.observer is not None:
+                        self.observer.on_interrupt(proc_id, event)
             if not proc.can_build():
                 break
             self._clear_stall(proc_id, now)
@@ -765,6 +836,10 @@ class ChunkMachine:
             if victims:
                 for victim in victims:
                     self.directory.on_squash(victim)
+                if self.observer is not None:
+                    self.observer.on_squash(
+                        other.proc_id,
+                        [v.logical_seq for v in victims], cause)
                 other.exec_free_time = now + flush
                 self.arbiter.drop_stale()
                 self._kick(other.proc_id)
@@ -828,6 +903,9 @@ class ChunkMachine:
             fingerprint = chunk.commit_fingerprint()
             self._fingerprints.append(fingerprint)
             self._per_proc_fingerprints[proc_id].append(fingerprint)
+            if self.observer is not None:
+                self.observer.on_commit(chunk, fingerprint,
+                                        len(self._fingerprints))
             self._maybe_interval_checkpoint()
             self._maybe_halt()
             return
@@ -861,6 +939,9 @@ class ChunkMachine:
         del self._piece_accum[proc_id]
         self._fingerprints.append(fingerprint)
         self._per_proc_fingerprints[proc_id].append(fingerprint)
+        if self.observer is not None:
+            self.observer.on_commit(chunk, fingerprint,
+                                    len(self._fingerprints))
         self._maybe_halt()
 
     # ------------------------------------------------------------------
@@ -877,10 +958,16 @@ class ChunkMachine:
                 f"p{event.processor}", f"irq v{event.vector}", now,
                 category="interrupt", vector=event.vector,
                 high_priority=event.high_priority)
+        if self.observer is not None:
+            self.observer.on_interrupt(event.processor, event)
         victims = proc.receive_interrupt(event, now)
         if victims:
             for victim in victims:
                 self.directory.on_squash(victim)
+            if self.observer is not None:
+                self.observer.on_squash(
+                    event.processor,
+                    [v.logical_seq for v in victims], "interrupt")
             proc.exec_free_time = (
                 now + self.config.timing.squash_flush_cycles)
             self.arbiter.drop_stale()
@@ -930,6 +1017,9 @@ class ChunkMachine:
         self._fingerprints.append(fingerprint)
         self._per_proc_fingerprints[self.config.dma_proc_id].append(
             fingerprint)
+        if self.observer is not None:
+            self.observer.on_dma(dict(chunk.write_buffer), fingerprint,
+                                 len(self._fingerprints))
         self._maybe_interval_checkpoint()
         self._maybe_halt()
         self.arbiter.commit_finished(chunk, now)
@@ -954,6 +1044,9 @@ class ChunkMachine:
         self._fingerprints.append(fingerprint)
         self._per_proc_fingerprints[self.config.dma_proc_id].append(
             fingerprint)
+        if self.observer is not None:
+            self.observer.on_dma(dict(writes), fingerprint,
+                                 len(self._fingerprints))
         self._maybe_halt()
 
     def _drain_replay_dma(self) -> None:

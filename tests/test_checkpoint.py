@@ -83,6 +83,80 @@ class TestCaptureRestore:
             wrong, checkpoint.thread_states)
 
 
+class TestMidExecutionCaptureDeterminism:
+    """The paper's interval theorem, exercised through the debugger's
+    capture path: a committed-state checkpoint taken at GCC = n > 0
+    mid-execution seeds a fresh replay whose fingerprints equal the
+    from-zero replay's suffix, in every mode."""
+
+    MODES = [ExecutionMode.ORDER_AND_SIZE, ExecutionMode.ORDER_ONLY,
+             ExecutionMode.PICOLOG]
+
+    def _record(self, mode):
+        from repro.core.delorean import DeLoreanSystem
+        from repro.workloads import commercial_program
+        system = DeLoreanSystem(mode=mode)
+        # sweb2005 carries DMA bursts and interrupts, so the captured
+        # io/dma cursors actually matter.
+        return system.record(
+            commercial_program("sweb2005", scale=0.4, seed=3))
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_capture_mid_replay_restores_deterministically(self, mode):
+        from repro.debugger import ReplayController
+        from repro.machine.system import build_replay_machine
+
+        recording = self._record(mode)
+        total = len(recording.fingerprints)
+        target = total // 2
+        assert target > 0
+        controller = ReplayController(recording, checkpoint_every=0)
+        controller.step(target)
+        snapshot = SystemCheckpoint.capture_committed(
+            controller.machine, label="mid")
+        assert snapshot.global_commit_count == target
+
+        machine = build_replay_machine(
+            recording, use_strata=False,
+            start_checkpoint=snapshot.to_interval())
+        result = machine.run()
+        assert result.fingerprints == recording.fingerprints[target:]
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_quiescent_capture_at_end_round_trips(self, mode):
+        """capture() (the strict quiescent form) still works and now
+        carries the log cursors."""
+        from repro.core.delorean import DeLoreanSystem
+        from repro.machine.system import build_replay_machine
+
+        recording = self._record(mode)
+        machine = build_replay_machine(recording, use_strata=False)
+        machine.run()
+        checkpoint = SystemCheckpoint.capture(machine, label="end")
+        assert checkpoint.global_commit_count \
+            == len(recording.fingerprints)
+        assert checkpoint.dma_consumed \
+            == len(recording.dma_log.entries)
+        interval = checkpoint.to_interval()
+        back = SystemCheckpoint.from_interval(interval)
+        assert back.global_commit_count \
+            == checkpoint.global_commit_count
+        assert back.memory_image == checkpoint.memory_image
+        assert back.io_consumed == checkpoint.io_consumed
+
+    def test_capture_committed_tolerates_speculation(self):
+        program = counter_program(2, 8)
+        machine = fresh_machine(program)
+        machine.processors[0].build_chunk(
+            0.0, 16, memory=machine.memory)
+        with pytest.raises(ConfigurationError):
+            SystemCheckpoint.capture(machine)
+        snapshot = SystemCheckpoint.capture_committed(machine)
+        assert snapshot.global_commit_count == 0
+        # The speculative chunk's state is not in the snapshot.
+        assert snapshot.thread_states[0].op_index == 0
+
+
 class TestCheckpointStore:
     def _checkpoint(self, gcc):
         return SystemCheckpoint(
