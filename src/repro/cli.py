@@ -20,6 +20,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 
 from repro.analysis.inspect import (
     commit_timeline,
@@ -35,6 +36,12 @@ from repro.core.modes import ExecutionMode
 from repro.core.replayer import ReplayPerturbation
 from repro.core.serialization import load_recording, save_recording
 from repro.errors import ReproError
+from repro.faults import (
+    FaultyJobFn,
+    execute_chaos_spec,
+    run_campaign,
+)
+from repro.runner.retry import RetryPolicy
 from repro.runner import (
     ConsoleReporter,
     ResultCache,
@@ -386,6 +393,54 @@ def _cmd_debug(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    label = _mode_from_spelling(args.mode)
+    job_fn = execute_chaos_spec
+    if args.worker_faults:
+        # Wrap the job function so pool workers themselves crash and
+        # dawdle -- exercising the retry/backoff hardening on top of
+        # the data-corruption faults.
+        job_fn = FaultyJobFn(
+            job_fn=execute_chaos_spec,
+            seed=args.plan_seed,
+            state_dir=tempfile.mkdtemp(prefix="repro-chaos-"),
+            crash_rate=0.2,
+            slow_rate=0.3,
+            slow_seconds=0.02,
+        )
+    runner = Runner(
+        jobs=max(1, args.jobs),
+        cache=False,
+        timeout=args.timeout,
+        retry=RetryPolicy(max_attempts=3, backoff_base=0.05,
+                          backoff_max=0.5),
+        reporter=ConsoleReporter(verbose=args.jobs > 1),
+        job_fn=job_fn,
+    )
+    report = run_campaign(
+        args.workload, _MODES[label],
+        scale=args.scale, seed=args.seed,
+        plan_seed=args.plan_seed, fault_count=args.faults,
+        checkpoint_every=args.checkpoint_every, runner=runner)
+    for result in report.results:
+        salvage = result.get("salvage")
+        extra = ""
+        if salvage:
+            extra = (f"  coverage {salvage['coverage']:.0%} "
+                     f"({salvage['verified_commits']}/"
+                     f"{salvage['total_commits']} commits)")
+        detected = result.get("detected_by") or ""
+        print(f"  {result['fault_label']:<28} "
+              f"{result['outcome']:<18} {detected}{extra}")
+    for failure in report.failures:
+        print(f"  JOB FAILED: {failure}")
+    print(report.summary())
+    if args.out:
+        report.write_jsonl(args.out)
+        print(f"wrote campaign report to {args.out}")
+    return 0 if report.invariant_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -556,6 +611,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip per-commit fingerprint verification "
                             "against the recording")
     debug.set_defaults(func=_cmd_debug)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="record → inject seeded faults → replay/salvage, "
+             "asserting detect-or-recover")
+    add_workload_options(chaos)
+    chaos.add_argument("--mode", default="order-only",
+                       help="execution mode (separator-insensitive)")
+    chaos.add_argument("--faults", type=int, default=12,
+                       help="number of faults to draw from the plan")
+    chaos.add_argument("--plan-seed", type=int, default=7,
+                       help="fault-plan seed (same seed ⇒ same plan)")
+    chaos.add_argument("--checkpoint-every", type=int, default=32,
+                       metavar="N",
+                       help="interval-checkpoint cadence of the "
+                            "baseline recording (salvage resync "
+                            "points)")
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="parallel campaign workers")
+    chaos.add_argument("--timeout", type=float, default=None,
+                       help="per-fault wall-clock budget (seconds)")
+    chaos.add_argument("--worker-faults", action="store_true",
+                       help="also inject worker crashes/slowdowns "
+                            "into the pool")
+    chaos.add_argument("--out", help="write the JSONL campaign report "
+                                     "to this file")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -265,6 +265,12 @@ class DeterminismReport:
     matches: bool
     compared_chunks: int
     mismatches: list[str] = field(default_factory=list)
+    #: Index of the first diverging global commit (ordered comparison
+    #: only): every commit before it reproduced exactly.  None when the
+    #: replay matched or the comparison was per-processor.  Salvage
+    #: replay uses this to credit the verified prefix of a damaged
+    #: recording before resyncing past the fault.
+    first_mismatch: int | None = None
 
     def summary(self) -> str:
         """One-line human-readable verdict."""
@@ -332,6 +338,7 @@ def verify_determinism(
         expected_global = expected_global[:stop_after]
         replay_fingerprints = replay_fingerprints[:stop_after]
     mismatches: list[str] = []
+    first_mismatch: int | None = None
     compared = len(replay_fingerprints)
     if ordered:
         if len(expected_global) != len(replay_fingerprints):
@@ -339,9 +346,13 @@ def verify_determinism(
                 f"commit count differs: recorded "
                 f"{len(expected_global)}, replayed "
                 f"{len(replay_fingerprints)}")
+            first_mismatch = min(len(expected_global),
+                                 len(replay_fingerprints))
         for index, (expected, actual) in enumerate(
                 zip(expected_global, replay_fingerprints)):
             if expected != actual:
+                if first_mismatch is None or index < first_mismatch:
+                    first_mismatch = index
                 mismatches.append(
                     f"commit #{index}: recorded {expected[:5]}..., "
                     f"replayed {actual[:5]}...")
@@ -360,6 +371,7 @@ def verify_determinism(
             matches=not mismatches,
             compared_chunks=compared,
             mismatches=mismatches,
+            first_mismatch=first_mismatch,
         )
     if recording.final_memory != replay_final_memory:
         missing = set(recording.final_memory) ^ set(replay_final_memory)
@@ -375,6 +387,7 @@ def verify_determinism(
         matches=not mismatches,
         compared_chunks=compared,
         mismatches=mismatches,
+        first_mismatch=first_mismatch,
     )
 
 

@@ -3,17 +3,39 @@
 A :class:`~repro.core.recorder.Recording` in memory holds decoded log
 objects plus verification instrumentation.  On disk, the hardware logs
 are what matter, and they are stored in their native bit-packed wire
-formats (Table 5) inside a small tagged container:
+formats (Table 5) inside a small tagged container.  Two container
+versions exist:
 
-    magic  "DLRN" | version u8 | mode tag u8 | header JSON (configs)
-    section* : tag u8 | proc id u16 | bit length u32 | payload bytes
+* **DLRN v1** (legacy, still readable)::
+
+      magic "DLRN" | version u8=1 | header len u32 | header JSON
+      section* : tag u8 | proc u16 | bit length u32 | byte length u32
+                 | payload
+      end      : tag 255 | zeros
+
+* **DLRN v2** (the integrity-checked default)::
+
+      magic "DLRN" | version u8=2 | header len u32 | header CRC32 u32
+      | header JSON
+      frame*   : sync "\\xA5SEC" | tag u8 | proc u16 | bit length u32
+                 | byte length u32 | CRC32 u32 | payload
+      end      : sync | tag 255 | zeros | CRC32 of the zero header
+
+  Every v2 frame carries a CRC32 over its header fields and payload, so
+  corruption is *detected at load time* as a typed
+  :class:`~repro.errors.IntegrityError` instead of surfacing later as a
+  baffling mid-replay divergence.  The sync marker makes frames
+  self-delimiting: a salvage reader (:func:`load_recording_tolerant`)
+  can skip a damaged frame, resync-scan to the next marker, and keep
+  every section that still checks out.
 
 The program and the verification fingerprints are stored as a pickled
 trailer section -- they are simulation artifacts, not hardware state,
 but without them a loaded recording could be replayed and *not*
 verified, which would be a footgun.  ``save_recording``/
 ``load_recording`` round-trip everything; the test suite checks that a
-loaded recording replays deterministically.
+loaded recording replays deterministically and that every single-byte
+corruption of a v2 blob is detected or recovered, never silent.
 """
 
 from __future__ import annotations
@@ -22,7 +44,10 @@ import io
 import json
 import pickle
 import struct
+import zlib
+from dataclasses import dataclass
 
+from repro.analysis.stats import RunStats
 from repro.core.logs import (
     ChunkSizeLog,
     DMALog,
@@ -32,11 +57,21 @@ from repro.core.logs import (
 )
 from repro.core.modes import ExecutionMode, ModeConfig
 from repro.core.recorder import Recording
-from repro.errors import LogFormatError
+from repro.errors import (
+    ChecksumError,
+    IntegrityError,
+    LogFormatError,
+    ReproError,
+    SalvageError,
+)
 from repro.machine.timing import MachineConfig
 
 _MAGIC = b"DLRN"
-_VERSION = 1
+_SYNC = b"\xa5SEC"
+#: Container versions this module can read.
+SUPPORTED_VERSIONS = (1, 2)
+#: Container version :func:`save_recording` writes by default.
+DEFAULT_VERSION = 2
 
 _SECTION_PI = 1
 _SECTION_CS = 2
@@ -46,12 +81,28 @@ _SECTION_DMA = 5
 _SECTION_TRAILER = 6
 _SECTION_END = 255
 
+_SECTION_NAMES = {
+    _SECTION_PI: "pi",
+    _SECTION_CS: "cs",
+    _SECTION_INTERRUPT: "interrupt",
+    _SECTION_IO: "io",
+    _SECTION_DMA: "dma",
+    _SECTION_TRAILER: "trailer",
+    _SECTION_END: "end",
+}
 
-def _write_section(buffer: io.BytesIO, tag: int, proc: int,
-                   payload: bytes, bit_length: int) -> None:
-    buffer.write(struct.pack(">BHI I", tag, proc, bit_length,
-                             len(payload)))
-    buffer.write(payload)
+_FRAME_HEADER = struct.Struct(">BHII")      # tag, proc, bits, size
+_FRAME_CRC = struct.Struct(">I")
+
+
+def section_name(tag: int) -> str:
+    """Human-readable name of a section tag."""
+    return _SECTION_NAMES.get(tag, f"tag{tag}")
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
 
 
 def _mode_header(recording: Recording) -> bytes:
@@ -71,29 +122,21 @@ def _mode_header(recording: Recording) -> bytes:
     return json.dumps(header, sort_keys=True).encode()
 
 
-def save_recording(recording: Recording) -> bytes:
-    """Serialize a recording to a self-contained byte blob."""
-    buffer = io.BytesIO()
-    buffer.write(_MAGIC)
-    buffer.write(struct.pack(">B", _VERSION))
-    header = _mode_header(recording)
-    buffer.write(struct.pack(">I", len(header)))
-    buffer.write(header)
-
+def _iter_payloads(recording: Recording):
+    """Yield ``(tag, proc, payload, bit_length)`` in container order."""
     payload, bits = recording.pi_log.encode()
-    _write_section(buffer, _SECTION_PI, 0, payload, bits)
+    yield _SECTION_PI, 0, payload, bits
     for proc, log in sorted(recording.cs_logs.items()):
         payload, bits = log.encode()
-        _write_section(buffer, _SECTION_CS, proc, payload, bits)
+        yield _SECTION_CS, proc, payload, bits
     for proc, log in sorted(recording.interrupt_logs.items()):
         payload, bits = log.encode()
-        _write_section(buffer, _SECTION_INTERRUPT, proc, payload, bits)
+        yield _SECTION_INTERRUPT, proc, payload, bits
     for proc, log in sorted(recording.io_logs.items()):
         payload, bits = log.encode()
-        _write_section(buffer, _SECTION_IO, proc, payload, bits)
+        yield _SECTION_IO, proc, payload, bits
     payload, bits = recording.dma_log.encode()
-    _write_section(buffer, _SECTION_DMA, 0, payload, bits)
-
+    yield _SECTION_DMA, 0, payload, bits
     trailer = pickle.dumps({
         "program": recording.program,
         "machine_config": recording.machine_config,
@@ -108,28 +151,242 @@ def save_recording(recording: Recording) -> bytes:
         "memory_ordering": recording.memory_ordering,
         "interval_checkpoints": recording.interval_checkpoints,
     })
-    _write_section(buffer, _SECTION_TRAILER, 0, trailer, 0)
-    buffer.write(struct.pack(">BHI I", _SECTION_END, 0, 0, 0))
+    yield _SECTION_TRAILER, 0, trailer, 0
+
+
+def _save_v1(recording: Recording) -> bytes:
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    buffer.write(struct.pack(">B", 1))
+    header = _mode_header(recording)
+    buffer.write(struct.pack(">I", len(header)))
+    buffer.write(header)
+    for tag, proc, payload, bits in _iter_payloads(recording):
+        buffer.write(_FRAME_HEADER.pack(tag, proc, bits, len(payload)))
+        buffer.write(payload)
+    buffer.write(_FRAME_HEADER.pack(_SECTION_END, 0, 0, 0))
     return buffer.getvalue()
 
 
-def load_recording(blob: bytes) -> Recording:
-    """Invert :func:`save_recording`.
+def _frame_bytes(tag: int, proc: int, bits: int, payload: bytes) -> bytes:
+    header = _FRAME_HEADER.pack(tag, proc, bits, len(payload))
+    crc = zlib.crc32(header + payload) & 0xFFFFFFFF
+    return _SYNC + header + _FRAME_CRC.pack(crc) + payload
 
-    The hardware logs are decoded from their wire formats (not from
-    the pickled trailer), so a round trip genuinely exercises the
-    Table 5 encodings.
+
+def _save_v2(recording: Recording) -> bytes:
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    buffer.write(struct.pack(">B", 2))
+    header = _mode_header(recording)
+    buffer.write(struct.pack(">II",
+                             len(header),
+                             zlib.crc32(header) & 0xFFFFFFFF))
+    buffer.write(header)
+    for tag, proc, payload, bits in _iter_payloads(recording):
+        buffer.write(_frame_bytes(tag, proc, bits, payload))
+    buffer.write(_frame_bytes(_SECTION_END, 0, 0, b""))
+    return buffer.getvalue()
+
+
+def save_recording(recording: Recording,
+                   version: int = DEFAULT_VERSION) -> bytes:
+    """Serialize a recording to a self-contained byte blob.
+
+    ``version`` selects the container format (default: the
+    integrity-checked DLRN v2); v1 remains writable so compatibility
+    tests can exercise the legacy reader against fresh recordings.
     """
-    buffer = io.BytesIO(blob)
-    if buffer.read(4) != _MAGIC:
+    if version == 1:
+        return _save_v1(recording)
+    if version == 2:
+        return _save_v2(recording)
+    raise LogFormatError(f"cannot write recording version {version} "
+                         f"(supported: {SUPPORTED_VERSIONS})")
+
+
+# ----------------------------------------------------------------------
+# Frame scanning (v2)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SectionFrame:
+    """One framed v2 section as found on the wire."""
+
+    start: int          # offset of the sync marker
+    end: int            # offset one past the payload
+    tag: int
+    proc: int
+    bit_length: int
+    payload: bytes
+    crc_ok: bool
+
+    @property
+    def name(self) -> str:
+        """Human-readable section name."""
+        return section_name(self.tag)
+
+
+@dataclass(frozen=True)
+class SectionDamage:
+    """One integrity problem found while reading a recording."""
+
+    offset: int
+    reason: str
+    tag: int | None = None
+    proc: int | None = None
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        where = (f"{section_name(self.tag)} section"
+                 if self.tag is not None else "container")
+        if self.proc is not None and self.tag in (
+                _SECTION_CS, _SECTION_INTERRUPT, _SECTION_IO):
+            where += f" (proc {self.proc})"
+        return f"{where} at offset {self.offset}: {self.reason}"
+
+
+def _parse_frame_at(blob: bytes, pos: int) -> SectionFrame | None:
+    """Parse the frame whose sync marker starts at ``pos``.
+
+    Returns None when no structurally plausible frame starts there
+    (wrong sync, header runs off the blob, or the declared payload does
+    not end at another sync marker / end of blob).
+    """
+    if blob[pos:pos + 4] != _SYNC:
+        return None
+    header_end = pos + 4 + _FRAME_HEADER.size
+    crc_end = header_end + _FRAME_CRC.size
+    if crc_end > len(blob):
+        return None
+    tag, proc, bits, size = _FRAME_HEADER.unpack(
+        blob[pos + 4:header_end])
+    end = crc_end + size
+    if end > len(blob):
+        return None
+    (stored_crc,) = _FRAME_CRC.unpack(blob[header_end:crc_end])
+    payload = blob[crc_end:end]
+    actual = zlib.crc32(blob[pos + 4:header_end] + payload) & 0xFFFFFFFF
+    crc_ok = actual == stored_crc
+    if not crc_ok and end != len(blob) and blob[end:end + 4] != _SYNC:
+        # Neither the checksum nor the framing is trustworthy: the
+        # size field itself is probably damaged.  Reject, so the
+        # caller resync-scans instead of leaping a bogus distance.
+        return None
+    return SectionFrame(start=pos, end=end, tag=tag, proc=proc,
+                        bit_length=bits, payload=payload, crc_ok=crc_ok)
+
+
+def scan_frames(blob: bytes,
+                data_start: int) -> tuple[list[SectionFrame],
+                                          list[SectionDamage]]:
+    """Walk the v2 frame stream from ``data_start``, resyncing past
+    damage.
+
+    Returns every structurally recovered frame (``crc_ok`` says whether
+    its contents are trustworthy) plus a damage report for each region
+    that had to be skipped.  Used by both the strict and the tolerant
+    loaders -- strictness is a policy decision of the caller.
+    """
+    frames: list[SectionFrame] = []
+    damage: list[SectionDamage] = []
+    pos = data_start
+    saw_end = False
+    while pos < len(blob):
+        frame = _parse_frame_at(blob, pos)
+        if frame is None:
+            # Resync: scan forward for the next validating frame.
+            scan = blob.find(_SYNC, pos + 1)
+            while scan != -1 and _parse_frame_at(blob, scan) is None:
+                scan = blob.find(_SYNC, scan + 1)
+            damage.append(SectionDamage(
+                offset=pos,
+                reason="unparseable bytes (resync scan)" if scan != -1
+                else "unparseable bytes to end of blob"))
+            if scan == -1:
+                break
+            pos = scan
+            continue
+        if not frame.crc_ok:
+            damage.append(SectionDamage(
+                offset=frame.start, reason="CRC32 mismatch",
+                tag=frame.tag, proc=frame.proc))
+        if frame.tag == _SECTION_END:
+            if frame.crc_ok:
+                saw_end = True
+                break
+        else:
+            frames.append(frame)
+        pos = frame.end
+    if not saw_end:
+        damage.append(SectionDamage(
+            offset=len(blob), reason="missing end-of-container frame"))
+    return frames, damage
+
+
+def container_frames(blob: bytes) -> tuple[list[SectionFrame],
+                                           list[SectionDamage]]:
+    """Scan a v2 blob's section frames without assembling a Recording.
+
+    The fault injector uses this to locate whole sections for drop and
+    duplication faults.  v1 blobs have no self-delimiting frames, so
+    they raise :class:`~repro.errors.LogFormatError`.
+    """
+    version, _header, data_start, _ = _read_preamble(blob)
+    if version != 2:
+        raise LogFormatError(
+            "section framing requires a v2 container")
+    return scan_frames(blob, data_start)
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+
+
+def _read_preamble(blob: bytes) -> tuple[int, dict, int,
+                                         list[SectionDamage]]:
+    """Magic/version/header; returns (version, header dict, offset of
+    the first section, header damage)."""
+    if len(blob) < 5 or blob[:4] != _MAGIC:
         raise LogFormatError("not a DeLorean recording (bad magic)")
-    (version,) = struct.unpack(">B", buffer.read(1))
-    if version != _VERSION:
+    version = blob[4]
+    if version not in SUPPORTED_VERSIONS:
         raise LogFormatError(f"unsupported recording version {version}")
-    (header_length,) = struct.unpack(">I", buffer.read(4))
-    header = json.loads(buffer.read(header_length))
+    if version == 1:
+        if len(blob) < 9:
+            raise LogFormatError("truncated recording (no header)")
+        (header_len,) = struct.unpack_from(">I", blob, 5)
+        data_start = 9 + header_len
+        header_bytes = blob[9:data_start]
+    else:
+        if len(blob) < 13:
+            raise LogFormatError("truncated recording (no header)")
+        header_len, header_crc = struct.unpack_from(">II", blob, 5)
+        data_start = 13 + header_len
+        header_bytes = blob[13:data_start]
+        if zlib.crc32(header_bytes) & 0xFFFFFFFF != header_crc:
+            raise ChecksumError(
+                "recording header failed its CRC32 check")
+    if len(header_bytes) != header_len:
+        raise LogFormatError("truncated recording (header cut short)")
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as error:
+        raise LogFormatError(
+            f"recording header is not valid JSON: {error}") from error
+    for key in ("mode", "standard_chunk_size", "num_processors",
+                "pi_entry_bits"):
+        if key not in header:
+            raise LogFormatError(
+                f"recording header is missing {key!r}")
+    return version, header, data_start, []
+
+
+def _mode_config_from_header(header: dict) -> ModeConfig:
     mode = ExecutionMode(header["mode"])
-    mode_config = ModeConfig(
+    return ModeConfig(
         mode=mode,
         standard_chunk_size=header["standard_chunk_size"],
         cs_distance_bits=header["cs_distance_bits"],
@@ -139,40 +396,145 @@ def load_recording(blob: bytes) -> Recording:
         chunks_per_stratum=header["chunks_per_stratum"],
     )
 
+
+def _frames_v1(blob: bytes, data_start: int) -> list[SectionFrame]:
+    """Sequential (unframed, un-checksummed) v1 section walk."""
+    frames: list[SectionFrame] = []
+    pos = data_start
+    while True:
+        header_end = pos + _FRAME_HEADER.size
+        if header_end > len(blob):
+            raise LogFormatError("truncated recording (missing end tag)")
+        tag, proc, bits, size = _FRAME_HEADER.unpack(
+            blob[pos:header_end])
+        if tag == _SECTION_END:
+            break
+        end = header_end + size
+        if end > len(blob):
+            raise LogFormatError("truncated recording section")
+        frames.append(SectionFrame(
+            start=pos, end=end, tag=tag, proc=proc, bit_length=bits,
+            payload=blob[header_end:end], crc_ok=True))
+        pos = end
+    return frames
+
+
+def _unpickle_trailer(payload: bytes) -> dict:
+    """Sanity-check and decode the pickled trailer section."""
+    # Pickle protocol >= 2 streams start with the PROTO opcode; the
+    # cheap check keeps obviously-garbage bytes away from the
+    # unpickler entirely.
+    if not payload or payload[:1] != b"\x80":
+        raise LogFormatError(
+            "trailer section does not look like a pickle stream")
+    try:
+        trailer = pickle.loads(payload)
+    except Exception as error:
+        raise LogFormatError(
+            f"trailer section failed to unpickle: "
+            f"{type(error).__name__}: {error}") from error
+    if not isinstance(trailer, dict):
+        raise LogFormatError("trailer section is not a mapping")
+    for key in ("program", "machine_config", "mode_config"):
+        if key not in trailer:
+            raise LogFormatError(
+                f"trailer section is missing {key!r}")
+    return trailer
+
+
+def _assemble(header: dict, frames: list[SectionFrame],
+              damage: list[SectionDamage],
+              tolerant: bool) -> Recording:
+    """Build a Recording from decoded frames.
+
+    In tolerant mode a frame that fails to decode (or is missing
+    entirely) is replaced by an empty log and reported in ``damage``;
+    in strict mode decode failures raise.
+    """
+    mode_config = _mode_config_from_header(header)
+    num_processors = header["num_processors"]
     pi_log = PILog(header["pi_entry_bits"])
     cs_logs: dict[int, ChunkSizeLog] = {}
     interrupt_logs: dict[int, InterruptLog] = {}
     io_logs: dict[int, IOLog] = {}
     dma_log = DMALog()
-    trailer: dict = {}
-    while True:
-        record = buffer.read(11)
-        if len(record) < 11:
-            raise LogFormatError("truncated recording (missing end tag)")
-        tag, proc, bits, size = struct.unpack(">BHI I", record)
-        if tag == _SECTION_END:
-            break
-        payload = buffer.read(size)
-        if len(payload) != size:
-            raise LogFormatError("truncated recording section")
-        if tag == _SECTION_PI:
-            pi_log = PILog.decode(payload, bits,
-                                  header["pi_entry_bits"])
-        elif tag == _SECTION_CS:
-            cs_logs[proc] = ChunkSizeLog.decode(payload, bits,
-                                                mode_config)
-        elif tag == _SECTION_INTERRUPT:
-            interrupt_logs[proc] = InterruptLog.decode(payload, bits)
-        elif tag == _SECTION_IO:
-            io_logs[proc] = IOLog.decode(payload, bits)
-        elif tag == _SECTION_DMA:
-            dma_log = DMALog.decode(payload, bits)
-        elif tag == _SECTION_TRAILER:
-            trailer = pickle.loads(payload)
-        else:
-            raise LogFormatError(f"unknown section tag {tag}")
+    trailer: dict | None = None
+    seen: set[tuple[int, int]] = set()
+
+    for frame in frames:
+        if not frame.crc_ok:
+            continue  # already reported by the scanner
+        if (frame.tag, frame.proc) in seen:
+            if not tolerant:
+                raise LogFormatError(
+                    f"duplicate {section_name(frame.tag)} section "
+                    f"for proc {frame.proc}")
+            damage.append(SectionDamage(
+                offset=frame.start, reason="duplicate section ignored",
+                tag=frame.tag, proc=frame.proc))
+            continue
+        try:
+            if frame.tag == _SECTION_PI:
+                pi_log = PILog.decode(frame.payload, frame.bit_length,
+                                      header["pi_entry_bits"])
+            elif frame.tag == _SECTION_CS:
+                cs_logs[frame.proc] = ChunkSizeLog.decode(
+                    frame.payload, frame.bit_length, mode_config)
+            elif frame.tag == _SECTION_INTERRUPT:
+                interrupt_logs[frame.proc] = InterruptLog.decode(
+                    frame.payload, frame.bit_length)
+            elif frame.tag == _SECTION_IO:
+                io_logs[frame.proc] = IOLog.decode(frame.payload,
+                                                   frame.bit_length)
+            elif frame.tag == _SECTION_DMA:
+                dma_log = DMALog.decode(frame.payload,
+                                        frame.bit_length)
+            elif frame.tag == _SECTION_TRAILER:
+                trailer = _unpickle_trailer(frame.payload)
+            else:
+                raise LogFormatError(
+                    f"unknown section tag {frame.tag}")
+        except ReproError:
+            if not tolerant:
+                raise
+            damage.append(SectionDamage(
+                offset=frame.start, reason="section failed to decode",
+                tag=frame.tag, proc=frame.proc))
+            continue
+        seen.add((frame.tag, frame.proc))
+
+    if trailer is None:
+        raise SalvageError(
+            "the trailer section (program + verification state) is "
+            "damaged or missing; nothing can be replayed")
+    # The writer emits every section unconditionally, so absence is
+    # itself evidence of damage.
+    expected = [(_SECTION_PI, 0), (_SECTION_DMA, 0)]
+    for proc in range(num_processors):
+        expected += [(_SECTION_CS, proc),
+                     (_SECTION_INTERRUPT, proc),
+                     (_SECTION_IO, proc)]
+    missing = [pair for pair in expected if pair not in seen]
+    if missing and not tolerant:
+        tag, proc = missing[0]
+        raise LogFormatError(
+            f"recording is missing its {section_name(tag)} section "
+            f"for proc {proc}")
+    if tolerant:
+        for tag, proc in missing:
+            damage.append(SectionDamage(
+                offset=-1, reason="section missing (damaged or "
+                "dropped); replaced with an empty log",
+                tag=tag, proc=proc))
+        for proc in range(num_processors):
+            cs_logs.setdefault(proc, ChunkSizeLog(mode_config))
+            interrupt_logs.setdefault(proc, InterruptLog())
+            io_logs.setdefault(proc, IOLog())
 
     machine_config: MachineConfig = trailer["machine_config"]
+    stats = trailer.get("stats")
+    if stats is None:
+        stats = RunStats()
     return Recording(
         mode_config=trailer["mode_config"],
         machine_config=machine_config,
@@ -182,13 +544,85 @@ def load_recording(blob: bytes) -> Recording:
         interrupt_logs=interrupt_logs,
         io_logs=io_logs,
         dma_log=dma_log,
-        strata=trailer["strata"],
-        stratified=trailer["stratified"],
-        fingerprints=trailer["fingerprints"],
-        per_proc_fingerprints=trailer["per_proc_fingerprints"],
-        final_memory=trailer["final_memory"],
-        final_thread_keys=trailer["final_thread_keys"],
-        stats=trailer["stats"],
-        memory_ordering=trailer["memory_ordering"],
+        strata=trailer.get("strata", []),
+        stratified=trailer.get("stratified", False),
+        fingerprints=trailer.get("fingerprints", []),
+        per_proc_fingerprints=trailer.get("per_proc_fingerprints", {}),
+        final_memory=trailer.get("final_memory", {}),
+        final_thread_keys=trailer.get("final_thread_keys", {}),
+        stats=stats,
+        memory_ordering=trailer.get("memory_ordering"),
         interval_checkpoints=trailer.get("interval_checkpoints"),
     )
+
+
+def _load(blob: bytes, tolerant: bool) -> tuple[Recording,
+                                                list[SectionDamage]]:
+    version, header, data_start, damage = _read_preamble(blob)
+    if version == 1:
+        frames = _frames_v1(blob, data_start)
+    else:
+        frames, frame_damage = scan_frames(blob, data_start)
+        damage = damage + frame_damage
+        if damage and not tolerant:
+            first = damage[0]
+            if first.reason == "CRC32 mismatch":
+                raise ChecksumError(
+                    f"recording integrity check failed: "
+                    f"{first.describe()}",
+                    section_tag=first.tag, proc=first.proc)
+            raise LogFormatError(
+                f"recording framing damaged: {first.describe()}")
+    recording = _assemble(header, frames, damage, tolerant)
+    return recording, damage
+
+
+def load_recording(blob: bytes) -> Recording:
+    """Invert :func:`save_recording` (either container version).
+
+    The hardware logs are decoded from their wire formats (not from
+    the pickled trailer), so a round trip genuinely exercises the
+    Table 5 encodings.  A damaged blob raises a typed
+    :class:`~repro.errors.IntegrityError` subclass
+    (:class:`~repro.errors.LogFormatError` for structural damage,
+    :class:`~repro.errors.ChecksumError` for CRC failures) -- never a
+    raw ``struct.error`` / ``pickle.UnpicklingError`` / ``EOFError``.
+    """
+    try:
+        recording, _ = _load(blob, tolerant=False)
+        return recording
+    except ReproError:
+        raise
+    except Exception as error:
+        # Anything else leaking out of the decoder is a malformed blob
+        # wearing an implementation-detail disguise.
+        raise LogFormatError(
+            f"malformed recording: {type(error).__name__}: "
+            f"{error}") from error
+
+
+def load_recording_tolerant(blob: bytes) -> tuple[Recording,
+                                                  list[SectionDamage]]:
+    """Best-effort load of a (possibly damaged) recording.
+
+    Where :func:`load_recording` fails fast, this reader keeps going:
+    damaged v2 frames are skipped via resync scanning, undecodable
+    sections are replaced by empty logs, and every problem is reported
+    as a :class:`SectionDamage`.  An intact blob returns
+    ``(recording, [])``.  Only a damaged header or trailer -- the
+    parts nothing can be rebuilt without -- still raise
+    (:class:`~repro.errors.SalvageError` /
+    :class:`~repro.errors.IntegrityError`).
+
+    The result is the input to salvage replay
+    (:func:`repro.faults.salvage_replay`), which replays as far as the
+    surviving logs allow and reports coverage.
+    """
+    try:
+        return _load(blob, tolerant=True)
+    except ReproError:
+        raise
+    except Exception as error:
+        raise LogFormatError(
+            f"malformed recording: {type(error).__name__}: "
+            f"{error}") from error

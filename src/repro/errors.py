@@ -13,8 +13,40 @@ class ConfigurationError(ReproError):
     """A machine, mode, or workload configuration is invalid."""
 
 
-class LogFormatError(ReproError):
+class IntegrityError(ReproError):
+    """A recording failed an integrity check before replay.
+
+    This is the detection layer of the fault model (see
+    :mod:`repro.faults`): structural damage -- truncation, bad framing,
+    checksum mismatches -- must surface here, as a typed error at load
+    time, rather than later as a confusing mid-replay divergence or (the
+    existential risk) a silently wrong replay.
+    """
+
+
+class LogFormatError(IntegrityError):
     """A log could not be encoded or decoded with the configured format."""
+
+
+class ChecksumError(IntegrityError):
+    """A DLRN v2 section's CRC32 did not match its payload.
+
+    Carries enough structure for the salvage scanner to report *which*
+    section is damaged: ``section_tag`` and ``proc`` are None when the
+    failure is not attributable to a single section (e.g. a damaged
+    file header).
+    """
+
+    def __init__(self, message: str, *, section_tag: int | None = None,
+                 proc: int | None = None) -> None:
+        super().__init__(message)
+        self.section_tag = section_tag
+        self.proc = proc
+
+
+class SalvageError(IntegrityError):
+    """Best-effort salvage could not recover anything from a damaged
+    recording (e.g. the trailer holding the program is itself gone)."""
 
 
 class ReplayDivergenceError(ReproError):

@@ -1,0 +1,50 @@
+"""Deterministic fault injection, salvage replay, and chaos campaigns.
+
+DeLorean's value proposition -- a tiny log deterministically
+reconstructs a whole multiprocessor execution -- makes log corruption
+the system's existential risk.  This package turns that risk into a
+tested property:
+
+* :mod:`repro.faults.plan` -- seeded :class:`FaultPlan` /
+  :class:`FaultSpec`: deterministic perturbations at the blob, log,
+  and runner layers.
+* :mod:`repro.faults.injector` -- :class:`FaultInjector` applies specs
+  (pure functions of their inputs) and :class:`FaultyJobFn` misbehaves
+  inside runner workers.
+* :mod:`repro.faults.salvage` -- :func:`salvage_replay` /
+  :func:`salvage_from_blob`: replay damaged recordings as far as the
+  surviving logs allow, reporting verified coverage.
+* :mod:`repro.faults.campaign` -- record → inject → replay → classify
+  campaigns over the runner pool, asserting the resilience invariant:
+  every fault *detected* or *recovered*, never a silent wrong result.
+"""
+
+from repro.faults.campaign import (
+    CampaignReport,
+    ChaosSpec,
+    execute_chaos_spec,
+    run_campaign,
+)
+from repro.faults.injector import FaultInjector, FaultyJobFn
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.salvage import (
+    SalvageReport,
+    SalvageSegment,
+    salvage_from_blob,
+    salvage_replay,
+)
+
+__all__ = [
+    "CampaignReport",
+    "ChaosSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyJobFn",
+    "SalvageReport",
+    "SalvageSegment",
+    "execute_chaos_spec",
+    "run_campaign",
+    "salvage_from_blob",
+    "salvage_replay",
+]

@@ -1,0 +1,124 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is a pure value: a seed plus the list of
+:class:`FaultSpec` perturbations it expands to.  Determinism is the
+load-bearing property -- the same seed must always produce the same
+plan, and applying the same spec to the same artifact must produce a
+byte-identical result -- because chaos campaigns are only debuggable if
+a failing fault can be replayed in isolation.  To that end specs avoid
+anything size-dependent: a blob fault names a *fractional* position in
+``[0, 1)`` (scaled to the blob at injection time), so a plan generated
+before the recording exists still applies deterministically.
+
+Three layers can be perturbed (see :mod:`repro.faults.injector`):
+
+``blob``
+    The serialized DLRN container: single-bit flips, truncation,
+    whole-section drops and duplications.
+``log``
+    The in-memory :class:`~repro.core.recorder.Recording`: dropped or
+    duplicated PI-log entries, corrupted chunk sizes, shifted interrupt
+    chunk IDs, dropped or slot-shifted DMA bursts.
+``runner``
+    The experiment runner's workers: injected crashes, hangs, and
+    slow-downs (expressed as rates on a
+    :class:`~repro.faults.injector.FaultyJobFn`, not as specs, since
+    worker faults are per-invocation rather than per-byte).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Fault kinds per layer, in the order the generator draws them.
+BLOB_KINDS = ("bit_flip", "truncate", "drop_section", "dup_section")
+LOG_KINDS = ("drop_pi", "dup_pi", "corrupt_cs", "shift_interrupt",
+             "drop_dma", "shift_dma_slot")
+KINDS_BY_LAYER = {"blob": BLOB_KINDS, "log": LOG_KINDS}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic perturbation.
+
+    ``position`` is a fraction in ``[0, 1)`` locating the fault within
+    whatever it targets (byte offset in a blob, entry index in a log);
+    ``index`` is an auxiliary draw (bit number for flips, duplication
+    count, ...); ``delta`` is the signed magnitude for value-corrupting
+    kinds; ``proc`` selects a per-processor log where relevant.
+    """
+
+    layer: str
+    kind: str
+    position: float
+    index: int = 0
+    proc: int = 0
+    delta: int = 1
+
+    def __post_init__(self) -> None:
+        if self.layer not in KINDS_BY_LAYER:
+            raise ConfigurationError(f"unknown fault layer {self.layer!r}")
+        if self.kind not in KINDS_BY_LAYER[self.layer]:
+            raise ConfigurationError(
+                f"unknown {self.layer} fault kind {self.kind!r}")
+        if not 0.0 <= self.position < 1.0:
+            raise ConfigurationError(
+                f"fault position {self.position} outside [0, 1)")
+
+    def label(self) -> str:
+        """Short stable identifier, e.g. ``blob:bit_flip@0.371``."""
+        return f"{self.layer}:{self.kind}@{self.position:.3f}"
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (campaign reports)."""
+        return {"layer": self.layer, "kind": self.kind,
+                "position": self.position, "index": self.index,
+                "proc": self.proc, "delta": self.delta}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed and the fault specs it deterministically expands to."""
+
+    seed: int
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def generate(cls, seed: int, count: int,
+                 layers: tuple[str, ...] = ("blob", "log"),
+                 num_processors: int = 1) -> "FaultPlan":
+        """Draw ``count`` faults from ``random.Random(seed)``.
+
+        The draw sequence is fixed -- layer, kind, position, index,
+        proc, delta, in that order, one fault at a time -- so a given
+        (seed, count, layers, num_processors) tuple always yields the
+        identical plan, across processes and platforms.
+        """
+        for layer in layers:
+            if layer not in KINDS_BY_LAYER:
+                raise ConfigurationError(
+                    f"unknown fault layer {layer!r}")
+        rng = random.Random(seed)
+        faults = []
+        for _ in range(count):
+            layer = layers[rng.randrange(len(layers))]
+            kinds = KINDS_BY_LAYER[layer]
+            kind = kinds[rng.randrange(len(kinds))]
+            faults.append(FaultSpec(
+                layer=layer,
+                kind=kind,
+                position=rng.random(),
+                index=rng.randrange(256),
+                proc=rng.randrange(max(1, num_processors)),
+                delta=rng.choice((-3, -2, -1, 1, 2, 3)),
+            ))
+        return cls(seed=seed, faults=tuple(faults))
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)

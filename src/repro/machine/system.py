@@ -53,6 +53,7 @@ from repro.core.replayer import (
 from repro.errors import (
     ConfigurationError,
     DeadlockError,
+    IntegrityError,
     ReplayDivergenceError,
 )
 from repro.machine.engine import EventEngine
@@ -481,7 +482,8 @@ class ChunkMachine:
             budget = self.start(max_events)
             self.engine.run(budget)
             self._check_drained()
-        except (ReplayDivergenceError, DeadlockError) as error:
+        except (ReplayDivergenceError, DeadlockError,
+                IntegrityError) as error:
             # Snapshot the partial run for the forensics layer before
             # the error unwinds past the machine.
             error.context = self._divergence_context()
@@ -1200,6 +1202,7 @@ def replay_execution(
             matches=False,
             compared_chunks=report.compared_chunks,
             mismatches=report.mismatches + problems,
+            first_mismatch=report.first_mismatch,
         )
     return ReplayResult(
         stats=result.stats,

@@ -213,14 +213,19 @@ class Runner:
             metrics=self.metrics)
         return outcome
 
-    def _finish_failure(self, spec, failures) -> JobOutcome:
-        record = FailureRecord(spec=spec, attempts=list(failures))
+    def _finish_failure(self, spec, failures,
+                        started: float | None = None) -> JobOutcome:
+        elapsed = (time.monotonic() - started
+                   if started is not None else 0.0)
+        record = FailureRecord(spec=spec, attempts=list(failures),
+                               total_elapsed=elapsed)
         self.metrics.failed += 1
         self.metrics.running -= 1
         self.reporter.on_job_failed(spec, record.last.brief(),
                                     self.metrics)
         return JobOutcome(spec=spec, failure=record,
-                          attempts=len(failures))
+                          attempts=len(failures),
+                          wall_time=elapsed)
 
     def _attempt_failure(self, envelope, attempt) -> AttemptFailure:
         return AttemptFailure(
@@ -231,10 +236,18 @@ class Runner:
             wall_time=envelope.get("wall_time", 0.0),
         )
 
+    def _retry_delay(self, spec, attempt,
+                     previous_delay: float | None) -> float:
+        return self.retry.delay(
+            attempt, previous_delay=previous_delay,
+            rng=self.retry.attempt_rng(spec.content_hash(), attempt))
+
     def _run_inline(self, spec: RunSpec) -> JobOutcome:
         self.metrics.queued -= 1
         self.metrics.running += 1
         failures: list[AttemptFailure] = []
+        started = time.monotonic()
+        last_delay: float | None = None
         for attempt in range(1, self.retry.max_attempts + 1):
             self.reporter.on_job_start(spec, attempt)
             envelope = jobs_module.invoke(
@@ -242,38 +255,47 @@ class Runner:
             if envelope["ok"]:
                 return self._finish_success(spec, envelope, attempt)
             failures.append(self._attempt_failure(envelope, attempt))
-            if self.retry.should_retry(attempt):
-                delay = self.retry.delay(attempt)
+            if self.retry.should_retry(attempt,
+                                       time.monotonic() - started):
+                delay = self._retry_delay(spec, attempt, last_delay)
+                last_delay = delay
                 self.metrics.retries += 1
                 self.reporter.on_retry(spec, attempt, delay,
                                        failures[-1].brief())
                 time.sleep(delay)
-        return self._finish_failure(spec, failures)
+            else:
+                break
+        return self._finish_failure(spec, failures, started)
 
     def _run_pooled(self, misses, outcomes) -> None:
         executor = self._new_executor(len(misses))
-        pending: dict = {}     # future -> (spec, attempt, failures)
-        retry_at: list = []    # (due_time, spec, attempt, failures)
+        # future -> (spec, attempt, failures, started, last_delay)
+        pending: dict = {}
+        # (due_time, spec, attempt, failures, started, last_delay)
+        retry_at: list = []
 
-        def submit(spec, attempt, failures):
+        def submit(spec, attempt, failures, started, last_delay):
             self.reporter.on_job_start(spec, attempt)
             future = executor.submit(
                 jobs_module.invoke, self.job_fn, spec, self.timeout,
                 *self._cache_args)
-            pending[future] = (spec, attempt, failures)
+            pending[future] = (spec, attempt, failures, started,
+                               last_delay)
 
         try:
             for spec in misses:
                 self.metrics.queued -= 1
                 self.metrics.running += 1
-                submit(spec, 1, [])
+                submit(spec, 1, [], time.monotonic(), None)
             while pending or retry_at:
                 now = time.monotonic()
                 due = [entry for entry in retry_at if entry[0] <= now]
                 retry_at = [entry for entry in retry_at
                             if entry[0] > now]
-                for _, spec, attempt, failures in due:
-                    submit(spec, attempt, failures)
+                for (_, spec, attempt, failures, started,
+                     last_delay) in due:
+                    submit(spec, attempt, failures, started,
+                           last_delay)
                 if not pending:
                     time.sleep(min(0.05,
                                    max(0.0, retry_at[0][0] - now)))
@@ -289,7 +311,8 @@ class Runner:
                         # the fresh executor; the stale future carries
                         # nothing we still need.
                         continue
-                    spec, attempt, failures = entry
+                    spec, attempt, failures, started, last_delay = \
+                        entry
                     try:
                         envelope = future.result()
                     except BrokenProcessPool:
@@ -310,9 +333,10 @@ class Runner:
                             len(pending) + len(retry_at) + 1)
                         survivors = list(pending.items())
                         pending.clear()
-                        for _, (s_spec, s_attempt,
-                                s_failures) in survivors:
-                            submit(s_spec, s_attempt, s_failures)
+                        for _, (s_spec, s_attempt, s_failures,
+                                s_started, s_delay) in survivors:
+                            submit(s_spec, s_attempt, s_failures,
+                                   s_started, s_delay)
                     except BaseException as error:  # noqa: BLE001
                         envelope = {
                             "ok": False,
@@ -328,16 +352,20 @@ class Runner:
                         continue
                     failures.append(
                         self._attempt_failure(envelope, attempt))
-                    if self.retry.should_retry(attempt):
-                        delay = self.retry.delay(attempt)
+                    if self.retry.should_retry(
+                            attempt, time.monotonic() - started):
+                        delay = self._retry_delay(spec, attempt,
+                                                  last_delay)
                         self.metrics.retries += 1
                         self.reporter.on_retry(spec, attempt, delay,
                                                failures[-1].brief())
                         retry_at.append((time.monotonic() + delay,
-                                         spec, attempt + 1, failures))
+                                         spec, attempt + 1, failures,
+                                         started, delay))
                     else:
                         outcomes[spec.content_hash()] = \
-                            self._finish_failure(spec, failures)
+                            self._finish_failure(spec, failures,
+                                                 started)
         finally:
             executor.shutdown(wait=True, cancel_futures=True)
 

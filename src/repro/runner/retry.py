@@ -4,13 +4,26 @@ A transient failure (worker crash, timeout, flaky host) should cost a
 sweep one job's worth of retries, not the whole run.  The pool retries
 each failed job under a :class:`RetryPolicy` -- bounded attempts with
 exponential backoff -- and when the budget is exhausted it emits a
-:class:`FailureRecord`: the spec, every attempt's error, and the final
-traceback, preserved as data so a 200-job sweep can finish and report
-"3 jobs failed, here is exactly how" instead of dying on the first.
+:class:`FailureRecord`: the spec, every attempt's error, the final
+traceback, and the total wall-clock spent, preserved as data so a
+200-job sweep can finish and report "3 jobs failed, here is exactly
+how" instead of dying on the first.
+
+Two hardening measures bound the worst case:
+
+* **Decorrelated jitter** (the AWS "exponential backoff and jitter"
+  scheme): each delay is drawn uniformly from ``[base, 3 * previous]``
+  rather than marching up a fixed ladder, so a burst of jobs that
+  failed together does not retry in lockstep and re-collide.  The draw
+  is seeded per (job, attempt), keeping sweeps reproducible.
+* **A total-elapsed-time cap** (``max_elapsed``): a pathological job
+  whose attempts are individually slow stops retrying once its overall
+  wall-clock budget is spent, even with attempts remaining.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.runner.specs import RunSpec
@@ -18,28 +31,62 @@ from repro.runner.specs import RunSpec
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retry with exponential backoff.
+    """Bounded retry with jittered exponential backoff.
 
     ``max_attempts`` counts the first try: 3 means one try plus two
-    retries.  The delay before retry *n* (1-based) is
+    retries.  Without jitter, the delay before retry *n* (1-based) is
     ``backoff_base * backoff_factor ** (n - 1)``, capped at
-    ``backoff_max`` seconds.
+    ``backoff_max`` seconds; with jitter (the default) it is the
+    decorrelated draw described in the module docstring, under the
+    same cap.  ``max_elapsed`` additionally stops retrying once a
+    job's total wall-clock (attempts plus backoff) exceeds the cap;
+    None disables the elapsed check.
     """
 
     max_attempts: int = 3
     backoff_base: float = 0.25
     backoff_factor: float = 2.0
     backoff_max: float = 5.0
+    jitter: bool = True
+    max_elapsed: float | None = 120.0
 
-    def delay(self, retry_index: int) -> float:
-        """Backoff before the ``retry_index``-th retry (1-based)."""
+    def delay(self, retry_index: int,
+              previous_delay: float | None = None,
+              rng: random.Random | None = None) -> float:
+        """Backoff before the ``retry_index``-th retry (1-based).
+
+        ``previous_delay`` feeds the decorrelated-jitter recurrence
+        (None on the first retry); ``rng`` supplies the randomness so
+        the pool can seed it deterministically per job.  Both are
+        optional: without them the method degrades to the classic
+        deterministic ladder.
+        """
+        ladder = min(self.backoff_max,
+                     self.backoff_base *
+                     self.backoff_factor ** (retry_index - 1))
+        if not self.jitter:
+            return ladder
+        if rng is None:
+            rng = random
+        previous = (previous_delay if previous_delay is not None
+                    else self.backoff_base)
+        high = max(self.backoff_base, previous * 3.0)
         return min(self.backoff_max,
-                   self.backoff_base *
-                   self.backoff_factor ** (retry_index - 1))
+                   rng.uniform(self.backoff_base, high))
 
-    def should_retry(self, attempts_made: int) -> bool:
-        """Whether another attempt fits the budget."""
-        return attempts_made < self.max_attempts
+    def should_retry(self, attempts_made: int,
+                     elapsed: float = 0.0) -> bool:
+        """Whether another attempt fits both budgets."""
+        if attempts_made >= self.max_attempts:
+            return False
+        if self.max_elapsed is not None and elapsed >= self.max_elapsed:
+            return False
+        return True
+
+    def attempt_rng(self, spec_hash: str,
+                    attempt: int) -> random.Random:
+        """Deterministic jitter source for one (job, attempt)."""
+        return random.Random(f"{spec_hash}:{attempt}")
 
 
 @dataclass(frozen=True)
@@ -60,10 +107,16 @@ class AttemptFailure:
 
 @dataclass
 class FailureRecord:
-    """Terminal failure of one job after its retry budget ran out."""
+    """Terminal failure of one job after its retry budget ran out.
+
+    ``total_elapsed`` is the job's overall wall-clock -- attempts and
+    backoff sleeps included -- so reports can distinguish "failed fast
+    three times" from "burned two minutes of budget".
+    """
 
     spec: RunSpec
     attempts: list[AttemptFailure] = field(default_factory=list)
+    total_elapsed: float = 0.0
 
     @property
     def last(self) -> AttemptFailure:
@@ -78,7 +131,8 @@ class FailureRecord:
     def summary(self) -> str:
         """Multi-line report: the job, then every attempt."""
         lines = [f"{self.spec.label()} failed after "
-                 f"{len(self.attempts)} attempt(s):"]
+                 f"{len(self.attempts)} attempt(s) in "
+                 f"{self.total_elapsed:.2f}s:"]
         lines.extend(f"  {attempt.brief()}"
                      for attempt in self.attempts)
         return "\n".join(lines)

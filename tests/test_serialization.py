@@ -8,7 +8,7 @@ from repro.core.delorean import DeLoreanSystem
 from repro.core.modes import ExecutionMode
 from repro.core.replayer import ReplayPerturbation
 from repro.core.serialization import load_recording, save_recording
-from repro.errors import LogFormatError
+from repro.errors import IntegrityError, LogFormatError
 from repro.machine.events import DmaTransfer, InterruptEvent
 from repro.workloads.program_builder import shared_address
 
@@ -72,8 +72,18 @@ class TestFormatErrors:
     def test_truncated_blob_rejected(self):
         _, recording = make_recording()
         blob = save_recording(recording)
-        with pytest.raises((LogFormatError, Exception)):
+        with pytest.raises(IntegrityError):
             load_recording(blob[: len(blob) // 2])
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_truncation_never_leaks_raw_errors(self, version):
+        """The satellite bugfix: damaged blobs raise typed
+        IntegrityErrors, never struct.error/pickle errors/EOFError."""
+        _, recording = make_recording()
+        blob = save_recording(recording, version=version)
+        for cut in range(0, len(blob), max(1, len(blob) // 50)):
+            with pytest.raises(IntegrityError):
+                load_recording(blob[:cut])
 
     def test_bad_version_rejected(self):
         _, recording = make_recording()
