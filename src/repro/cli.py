@@ -69,6 +69,24 @@ from repro.workloads import (
     commercial_program,
     splash2_program,
 )
+from repro.workloads.stress import (
+    handoff_program,
+    racey_program,
+    squash_livelock_program,
+    starvation_program,
+)
+
+# Determinism-stress and stall-zoo workloads (repro.workloads.stress).
+# The zoo specimens (starvation, squash-livelock) hang an unsupervised
+# run by construction -- record them with --supervised.
+STRESS_APPS = {
+    "racey": lambda scale, seed: racey_program(
+        rounds=max(1, int(240 * scale)), seed=seed),
+    "handoff": lambda scale, seed: handoff_program(
+        laps=max(1, int(12 * scale))),
+    "starvation": lambda scale, seed: starvation_program(),
+    "squash-livelock": lambda scale, seed: squash_livelock_program(),
+}
 
 _MODES = {
     "order-and-size": ExecutionMode.ORDER_AND_SIZE,
@@ -81,6 +99,8 @@ _MODES = {
 
 
 def _program_for(args):
+    if args.workload in STRESS_APPS:
+        return STRESS_APPS[args.workload](args.scale, args.seed)
     if args.workload in COMMERCIAL_APPS:
         return commercial_program(args.workload, scale=args.scale,
                                   seed=args.seed)
@@ -97,6 +117,11 @@ def _system_for(args) -> DeLoreanSystem:
 
 
 def _cmd_record(args) -> int:
+    supervised = (args.supervised or args.deadline is not None
+                  or args.max_log_bytes is not None
+                  or args.journal is not None)
+    if supervised:
+        return _cmd_record_supervised(args)
     system = _system_for(args)
     recording = system.record(_program_for(args),
                               checkpoint_every=args.checkpoint_every)
@@ -107,6 +132,39 @@ def _cmd_record(args) -> int:
             handle.write(blob)
         print(f"\nwrote {len(blob):,} bytes to {args.output}")
     return 0
+
+
+def _cmd_record_supervised(args) -> int:
+    from repro.guard import Budgets, save_segmented, supervise_record
+
+    system = _system_for(args)
+    budgets = Budgets(
+        deadline_seconds=args.deadline,
+        max_log_bytes_per_proc=args.max_log_bytes,
+    )
+    report = supervise_record(
+        _program_for(args),
+        mode=system.mode,
+        mode_config=system.mode_config,
+        budgets=budgets,
+        journal_path=args.journal,
+        flush_every=args.flush_every,
+        degrade=not args.no_degrade,
+        verify_segments=args.verify,
+        stochastic_overflow_rate=system.stochastic_overflow_rate,
+        checkpoint_every=args.checkpoint_every,
+    )
+    print("supervised record:")
+    print(report.summary())
+    if report.ok and args.output:
+        if report.recording is not None:
+            blob = save_recording(report.recording)
+        else:
+            blob = save_segmented(report.segmented)
+        with open(args.output, "wb") as handle:
+            handle.write(blob)
+        print(f"wrote {len(blob):,} bytes to {args.output}")
+    return 0 if report.ok else 2
 
 
 def _load(path: str):
@@ -368,14 +426,16 @@ def _cmd_debug(args) -> int:
     from repro.debugger import (
         DebuggerShell,
         ReplayController,
-        load_recording_artifact,
+        load_debug_target,
     )
 
-    recording = load_recording_artifact(args.artifact)
+    recording, start_checkpoint = load_debug_target(
+        args.artifact, segment=args.segment)
     controller = ReplayController(
         recording,
         checkpoint_every=args.checkpoint_every,
         verify=not args.no_verify,
+        start_checkpoint=start_checkpoint,
     )
     print(f"loaded {recording.program.name}: "
           f"{len(recording.fingerprints)} commits, mode "
@@ -448,7 +508,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="DeLorean chunk-based deterministic record/replay",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    workloads = sorted(SPLASH2_APPS) + sorted(COMMERCIAL_APPS)
+    workloads = (sorted(SPLASH2_APPS) + sorted(COMMERCIAL_APPS)
+                 + sorted(STRESS_APPS))
 
     def add_workload_options(p):
         p.add_argument("workload", choices=workloads)
@@ -467,6 +528,29 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="take an interval checkpoint every N "
                              "commits")
+    record.add_argument("--supervised", action="store_true",
+                        help="run under repro.guard: watchdog stall "
+                             "classification, budgets, degradation")
+    record.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget (implies --supervised)")
+    record.add_argument("--max-log-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="per-processor log budget; on overflow "
+                             "the session degrades to a safer mode "
+                             "(implies --supervised)")
+    record.add_argument("--journal", metavar="PATH", default=None,
+                        help="write-ahead recording journal: flushed "
+                             "prefixes survive a crash mid-record "
+                             "(implies --supervised)")
+    record.add_argument("--flush-every", type=int, default=25,
+                        metavar="COMMITS",
+                        help="journal flush granularity (default 25)")
+    record.add_argument("--no-degrade", action="store_true",
+                        help="fail on budget exhaustion instead of "
+                             "degrading to a safer mode")
+    record.add_argument("--verify", action="store_true",
+                        help="replay-verify each supervised segment")
     record.add_argument("-o", "--output", help="write the recording "
                                                "to this file")
     record.set_defaults(func=_cmd_record)
@@ -594,8 +678,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="time-travel debug a recording (interactive REPL over "
              "deterministic replay)")
     debug.add_argument("artifact",
-                       help="a .dlrn recording or a runner record "
-                            "artifact (JSON)")
+                       help="a .dlrn recording, a runner record "
+                            "artifact (JSON), or a stitched segmented "
+                            "recording")
+    debug.add_argument("--segment", type=int, default=None,
+                       metavar="N",
+                       help="for stitched recordings: debug segment N "
+                            "(default 0)")
     debug.add_argument("--script", metavar="FILE",
                        help="run debugger commands from FILE instead "
                             "of interactively")

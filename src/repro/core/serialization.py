@@ -79,6 +79,12 @@ _SECTION_INTERRUPT = 3
 _SECTION_IO = 4
 _SECTION_DMA = 5
 _SECTION_TRAILER = 6
+#: Journal flush marker (see :mod:`repro.guard.journal`): a tiny JSON
+#: frame a write-ahead journal appends after each atomic flush of a
+#: complete section set.  Both loaders skip it, so a journal file is a
+#: valid (multi-epoch) container; the journal's own loader uses it to
+#: find the last fully-flushed prefix.
+_SECTION_FLUSH = 7
 _SECTION_END = 255
 
 _SECTION_NAMES = {
@@ -88,6 +94,7 @@ _SECTION_NAMES = {
     _SECTION_IO: "io",
     _SECTION_DMA: "dma",
     _SECTION_TRAILER: "trailer",
+    _SECTION_FLUSH: "flush",
     _SECTION_END: "end",
 }
 
@@ -464,6 +471,8 @@ def _assemble(header: dict, frames: list[SectionFrame],
     for frame in frames:
         if not frame.crc_ok:
             continue  # already reported by the scanner
+        if frame.tag == _SECTION_FLUSH:
+            continue  # journal metadata, not recording content
         if (frame.tag, frame.proc) in seen:
             if not tolerant:
                 raise LogFormatError(

@@ -19,7 +19,10 @@ from repro.debugger.controller import (
     ReplayController,
     StopInfo,
 )
-from repro.debugger.loading import load_recording_artifact
+from repro.debugger.loading import (
+    load_debug_target,
+    load_recording_artifact,
+)
 from repro.debugger.repl import DebuggerShell
 
 __all__ = [
@@ -30,5 +33,6 @@ __all__ = [
     "DebuggerShell",
     "ReplayController",
     "StopInfo",
+    "load_debug_target",
     "load_recording_artifact",
 ]

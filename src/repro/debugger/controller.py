@@ -192,8 +192,13 @@ class ReplayController:
         checkpoint_every: int = 64,
         verify: bool = True,
         tracer: Tracer | None = None,
+        start_checkpoint=None,
     ) -> None:
         self.recording = recording
+        #: Segment support: a commit-index-0 interval checkpoint that
+        #: anchors the machine's initial state (a stitched recording's
+        #: later segments start mid-program; see repro.guard.degrade).
+        self._start_checkpoint = start_checkpoint
         self.verify = verify
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.breakpoints = BreakpointTable()
@@ -234,6 +239,8 @@ class ReplayController:
         stratum, and the debugger needs the totally-ordered PI log for
         exact GCC positioning.
         """
+        if checkpoint is None:
+            checkpoint = self._start_checkpoint
         self._machine = build_replay_machine(
             self.recording,
             use_strata=False,

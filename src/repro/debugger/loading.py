@@ -19,6 +19,37 @@ from repro.errors import ReproError
 from repro.runner.jobs import recording_from_artifact
 
 
+def load_debug_target(path: str, segment: int | None = None):
+    """A ``(recording, start_checkpoint)`` pair from any debugger
+    artifact.
+
+    Plain recordings return ``(recording, None)``.  A stitched
+    :class:`~repro.guard.degrade.SegmentedRecording` returns the
+    selected segment (default: the first) together with its boundary
+    checkpoint, so the controller replays the segment from the correct
+    mid-program state.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(8)
+    if head == b"DLRNSEG1":
+        from repro.guard.degrade import load_segmented
+
+        with open(path, "rb") as handle:
+            segmented = load_segmented(handle.read())
+        index = 0 if segment is None else segment
+        if not 0 <= index < len(segmented.segments):
+            raise ReproError(
+                f"{path} has {len(segmented.segments)} segments; "
+                f"--segment {index} is out of range")
+        seg = segmented.segments[index]
+        return seg.recording, seg.start_checkpoint
+    if segment is not None:
+        raise ReproError(
+            f"{path} is not a segmented recording; --segment only "
+            f"applies to stitched artifacts")
+    return load_recording_artifact(path), None
+
+
 def load_recording_artifact(path: str) -> Recording:
     """A :class:`Recording` from a ``.dlrn`` file or a runner record
     artifact (JSON document)."""
@@ -26,6 +57,10 @@ def load_recording_artifact(path: str) -> Recording:
         blob = handle.read()
     if not blob:
         raise ReproError(f"{path} is empty")
+    if blob[:8] == b"DLRNSEG1":
+        raise ReproError(
+            f"{path} is a stitched segmented recording; load it via "
+            f"load_debug_target (repro debug --segment N)")
     if blob.lstrip()[:1] == b"{":
         try:
             artifact = json.loads(blob.decode("utf-8"))

@@ -83,3 +83,41 @@ class ExecutionError(ReproError):
 
 class DeadlockError(ExecutionError):
     """The simulated machine can make no further progress."""
+
+
+class StallError(ExecutionError):
+    """A supervised session stopped making forward progress.
+
+    Raised by the :mod:`repro.guard` watchdog instead of letting a
+    livelocked or starved session hang forever.  ``classification`` is
+    the watchdog's verdict (``gcc-stagnation``, ``token-starvation``,
+    ``squash-livelock``, ``livelock``, ``replay-stall``); ``details``
+    is a JSON-friendly telemetry snapshot taken at detection time
+    (cycle, events, committed counts, arbiter state, squash history).
+    """
+
+    def __init__(self, message: str, *, classification: str,
+                 details: dict | None = None) -> None:
+        super().__init__(message)
+        self.classification = classification
+        self.details = dict(details or {})
+
+
+class BudgetExceeded(ReproError):
+    """A supervised session ran past an enforceable resource budget.
+
+    Raised only at chunk boundaries (never mid-commit) so the machine
+    is always left in a quiescent, checkpointable state.  ``budget``
+    names the exhausted budget (``deadline``, ``log-bytes``,
+    ``event-queue``, ``squash-rate``); ``limit`` is the configured
+    ceiling and ``observed`` the measured value that crossed it.
+    """
+
+    def __init__(self, message: str, *, budget: str,
+                 limit: float, observed: float,
+                 proc: int | None = None) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.limit = limit
+        self.observed = observed
+        self.proc = proc

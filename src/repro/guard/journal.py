@@ -1,0 +1,282 @@
+"""A write-ahead recording journal with atomic flush points.
+
+An unsupervised record session holds its entire recording in memory
+until the run completes; a crash (OOM kill, node preemption, plain
+SIGKILL) loses everything.  The journal inverts that: at quiescent
+chunk boundaries the supervisor appends the *complete current section
+set* -- the same CRC-framed DLRN v2 frames the container format uses
+(see :mod:`repro.core.serialization`) -- followed by a tiny ``flush``
+marker frame, then flushes and fsyncs.  The file is therefore a valid
+v2 container at every flush point:
+
+    preamble | epoch 0 sections | FLUSH | epoch 1 sections | FLUSH
+    | ... | END
+
+A SIGKILL mid-epoch tears only the tail; :func:`load_journal` scans
+the frames, discards everything past the last intact flush marker,
+keeps the *newest* intact copy of each section (later epochs supersede
+earlier ones), and assembles a loadable Recording of the flushed
+prefix -- which then salvage-replays bit-for-bit
+(:func:`repro.faults.salvage_replay` credits exactly the prefix's
+commits).  The regular loaders also read a journal directly: flush
+frames are skipped and the tolerant loader's first-wins rule recovers
+epoch 0.
+
+Flush points are *atomic at process-death granularity*: the epoch's
+frames are buffered and written before its flush marker, so a killed
+process can never leave a marker without its data (torn frames from a
+concurrent power failure are caught by the per-frame CRCs and the
+marker is then disregarded).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+
+from repro.analysis.stats import RunStats
+from repro.core.recorder import Recording
+from repro.core.serialization import (
+    _MAGIC,
+    _SECTION_END,
+    _SECTION_FLUSH,
+    _assemble,
+    _frame_bytes,
+    _mode_header,
+    _iter_payloads,
+    _read_preamble,
+    scan_frames,
+    SectionDamage,
+)
+from repro.errors import ConfigurationError, SalvageError
+
+
+def partial_recording(machine) -> Recording:
+    """Snapshot a *recording* machine's logs as a prefix Recording.
+
+    Must be called at a quiescent commit boundary (no in-flight commit,
+    no continuation reservation): there, the PI entries, CS/IO/
+    Interrupt/DMA logs and the fingerprint list all describe exactly
+    the same committed prefix, and committed memory equals the
+    architectural state.  Stratified state is deliberately dropped
+    (``finish()`` may only ever run once, at end-of-run), so prefix
+    snapshots replay via the ordered PI path.
+    """
+    recorder = machine.recorder
+    if recorder is None:
+        raise ConfigurationError(
+            "partial_recording needs a recording-phase machine")
+    if machine.arbiter.committing or machine.arbiter.has_reservation:
+        raise ConfigurationError(
+            "partial_recording requires a quiescent commit boundary")
+    stats = RunStats()
+    stats.cycles = machine.engine.now
+    for proc in machine.processors:
+        stats.merge_processor(proc.proc_id, proc.stats)
+    stats.dma_commits = machine.stats.dma_commits
+    return Recording(
+        mode_config=machine.mode_config,
+        machine_config=machine.config,
+        program=machine.program,
+        pi_log=recorder.pi_log,
+        cs_logs=recorder.cs_logs,
+        interrupt_logs=recorder.interrupt_logs,
+        io_logs=recorder.io_logs,
+        dma_log=recorder.dma_log,
+        strata=[],
+        stratified=False,
+        fingerprints=list(machine._fingerprints),
+        per_proc_fingerprints={
+            proc: list(entries) for proc, entries
+            in machine._per_proc_fingerprints.items()},
+        final_memory=machine.memory.nonzero_words(),
+        final_thread_keys={
+            p.proc_id: p.committed_fingerprint_state()
+            for p in machine.processors},
+        stats=stats,
+        memory_ordering=recorder.memory_ordering_log(),
+        interval_checkpoints=machine.interval_checkpoints,
+    )
+
+
+class RecordingJournal:
+    """Append-only on-disk journal for one supervised record session."""
+
+    def __init__(self, path: str, machine,
+                 flush_every: int = 25,
+                 sync: bool = True) -> None:
+        if flush_every < 1:
+            raise ConfigurationError("flush_every must be >= 1")
+        self.path = path
+        self.machine = machine
+        self.flush_every = flush_every
+        self.sync = sync
+        self.flush_count = 0
+        self.flushed_commits = 0
+        self.bytes_written = 0
+        self.closed = False
+        self._file = open(path, "wb")
+        # _mode_header reads .mode_config/.machine_config; the machine
+        # exposes the latter as .config.
+        header = _mode_header(SimpleNamespace(
+            mode_config=machine.mode_config,
+            machine_config=machine.config))
+        preamble = (_MAGIC + struct.pack(">B", 2)
+                    + struct.pack(">II", len(header),
+                                  zlib.crc32(header) & 0xFFFFFFFF)
+                    + header)
+        self._write(preamble)
+        self._commit_to_disk()
+
+    def _write(self, data: bytes) -> None:
+        self._file.write(data)
+        self.bytes_written += len(data)
+
+    def _commit_to_disk(self) -> None:
+        self._file.flush()
+        if self.sync:
+            os.fsync(self._file.fileno())
+
+    def maybe_flush(self) -> bool:
+        """Flush if at least ``flush_every`` commits landed since the
+        last flush.  Call only at quiescent boundaries."""
+        commits = len(self.machine._fingerprints)
+        if commits - self.flushed_commits < self.flush_every:
+            return False
+        self.flush()
+        return True
+
+    def flush(self) -> None:
+        """Append one epoch: the full current section set plus a flush
+        marker, then flush+fsync.  The file is a loadable container of
+        the committed prefix the moment this returns."""
+        if self.closed:
+            raise ConfigurationError("journal is closed")
+        snapshot = partial_recording(self.machine)
+        for tag, proc, payload, bits in _iter_payloads(snapshot):
+            self._write(_frame_bytes(tag, proc, bits, payload))
+        marker = json.dumps({
+            "flush": self.flush_count,
+            "gcc": len(snapshot.fingerprints),
+            "cycle": self.machine.engine.now,
+        }, sort_keys=True).encode()
+        self._write(_frame_bytes(_SECTION_FLUSH, 0, 0, marker))
+        self._commit_to_disk()
+        self.flush_count += 1
+        self.flushed_commits = len(snapshot.fingerprints)
+
+    def close(self, final_flush: bool = True) -> None:
+        """Write a final epoch (by default) and the END frame."""
+        if self.closed:
+            return
+        if (final_flush
+                and len(self.machine._fingerprints)
+                > self.flushed_commits):
+            self.flush()
+        self._write(_frame_bytes(_SECTION_END, 0, 0, b""))
+        self._commit_to_disk()
+        self._file.close()
+        self.closed = True
+
+
+@dataclass
+class JournalInfo:
+    """What :func:`load_journal` found in a journal file."""
+
+    flushes: int
+    flushed_commits: int
+    flushed_cycle: float
+    total_bytes: int
+    tail_bytes_discarded: int
+    complete: bool  # the journal was closed with an END frame
+    damage: list[SectionDamage] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form for reports."""
+        return {
+            "flushes": self.flushes,
+            "flushed_commits": self.flushed_commits,
+            "flushed_cycle": self.flushed_cycle,
+            "total_bytes": self.total_bytes,
+            "tail_bytes_discarded": self.tail_bytes_discarded,
+            "complete": self.complete,
+            "damage": [d.describe() for d in self.damage],
+        }
+
+
+def load_journal(blob: bytes) -> tuple[Recording, JournalInfo]:
+    """Recover the last fully-flushed prefix from a journal blob.
+
+    Tolerates an arbitrarily torn tail (the SIGKILL case): everything
+    past the last intact flush marker is discarded, and for each
+    section the newest intact copy at or before that marker wins.
+    Raises :class:`~repro.errors.SalvageError` when not even one flush
+    completed -- there is no prefix to recover.
+    """
+    version, header, data_start, _ = _read_preamble(blob)
+    if version != 2:
+        raise SalvageError("recording journals are always v2 containers")
+    frames, scan_damage = scan_frames(blob, data_start)
+    complete = not any(
+        d.reason == "missing end-of-container frame"
+        for d in scan_damage)
+
+    last_marker = None
+    marker_count = 0
+    for frame in frames:
+        if frame.tag == _SECTION_FLUSH and frame.crc_ok:
+            marker_count += 1
+            last_marker = frame
+    if last_marker is None:
+        raise SalvageError(
+            "journal has no completed flush point; no prefix to "
+            "recover")
+    try:
+        marker = json.loads(last_marker.payload)
+    except ValueError:
+        marker = {}
+
+    damage = [d for d in scan_damage
+              if d.offset <= last_marker.start and d.offset >= 0]
+    # Newest intact copy of each section at or before the marker wins:
+    # later epochs describe strictly longer prefixes.
+    newest: dict[tuple[int, int], object] = {}
+    for frame in frames:
+        if frame.start >= last_marker.start or not frame.crc_ok:
+            continue
+        if frame.tag == _SECTION_FLUSH:
+            continue
+        newest[(frame.tag, frame.proc)] = frame
+    ordered = sorted(newest.values(), key=lambda f: f.start)
+    recording = _assemble(header, ordered, damage, tolerant=True)
+
+    info = JournalInfo(
+        flushes=marker_count,
+        flushed_commits=int(marker.get(
+            "gcc", len(recording.fingerprints))),
+        flushed_cycle=float(marker.get("cycle", 0.0)),
+        total_bytes=len(blob),
+        tail_bytes_discarded=max(0, len(blob) - last_marker.end),
+        complete=complete,
+        damage=damage,
+    )
+    return recording, info
+
+
+def load_journal_file(path: str) -> tuple[Recording, JournalInfo]:
+    """:func:`load_journal` over a file path."""
+    with open(path, "rb") as handle:
+        return load_journal(handle.read())
+
+
+__all__ = [
+    "JournalInfo",
+    "RecordingJournal",
+    "load_journal",
+    "load_journal_file",
+    "partial_recording",
+]

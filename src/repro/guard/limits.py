@@ -1,0 +1,193 @@
+"""Enforceable resource budgets for supervised sessions.
+
+A record/replay session consumes four resources that can run away on a
+pathological workload: wall-clock time (livelock), log space (a squash
+storm or truncation storm bloats the CS log), event-queue depth (an
+interrupt/DMA flood), and squash bandwidth (ping-pong collisions that
+commit nothing).  :class:`Budgets` declares ceilings for each;
+:class:`BudgetMeter` measures consumption against them and raises
+:class:`~repro.errors.BudgetExceeded` -- but only when the supervisor
+polls it at a *chunk boundary*, never mid-commit, so the machine is
+always left quiescent and checkpointable (the degradation layer
+depends on that).
+
+Log-byte accounting attributes the shared PI log to the committing
+processor (each entry is ``pi_entry_bits`` wide) and adds each
+processor's own CS/Interrupt/IO streams, mirroring how the DLRN
+container sections are framed per processor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import BudgetExceeded
+
+
+@dataclass(frozen=True)
+class Budgets:
+    """Resource ceilings for one supervised session.
+
+    ``None`` disables a budget.  ``max_squash_rate`` is squashes per
+    1000 dispatched events, measured over a sliding window of
+    ``squash_window_events`` events (short windows would flag the
+    normal startup collision burst).
+    """
+
+    deadline_seconds: float | None = None
+    max_log_bytes_per_proc: int | None = None
+    max_event_queue_depth: int | None = None
+    max_squash_rate: float | None = None
+    squash_window_events: int = 50_000
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one budget is set."""
+        return any(limit is not None for limit in (
+            self.deadline_seconds, self.max_log_bytes_per_proc,
+            self.max_event_queue_depth, self.max_squash_rate))
+
+
+def proc_log_bytes(recorder) -> dict[int, int]:
+    """Per-processor recording-log footprint in bytes.
+
+    Charges each processor its PI entries plus its own CS, Interrupt
+    and I/O sections (DMA is charged to the DMA pseudo-processor).
+    """
+    config = recorder.machine_config
+    pi_bits = {proc: 0 for proc in range(config.num_processors)}
+    if recorder.mode_config.mode.has_pi_log:
+        for proc in recorder.pi_log.entries:
+            if proc in pi_bits:
+                pi_bits[proc] += recorder.pi_log.entry_bits
+    totals: dict[int, int] = {}
+    for proc in range(config.num_processors):
+        bits = pi_bits[proc]
+        bits += recorder.cs_logs[proc].size_bits
+        _, interrupt_bits = recorder.interrupt_logs[proc].encode()
+        bits += interrupt_bits
+        _, io_bits = recorder.io_logs[proc].encode()
+        bits += io_bits
+        totals[proc] = (bits + 7) // 8
+    _, dma_bits = recorder.dma_log.encode()
+    totals[config.dma_proc_id] = (dma_bits + 7) // 8
+    return totals
+
+
+class BudgetMeter:
+    """Measures a session's resource consumption against its budgets.
+
+    The supervisor calls :meth:`note_squash` from the machine observer
+    (cheap, every squash) and :meth:`charge` at quiescent chunk
+    boundaries (does the expensive log-size accounting and raises).
+    """
+
+    def __init__(self, budgets: Budgets,
+                 clock=time.monotonic) -> None:
+        self.budgets = budgets
+        self._clock = clock
+        self._start: float | None = None
+        self._squashes: list[int] = []  # events_processed at each squash
+        self.peak_queue_depth = 0
+        self.peak_log_bytes = 0
+        self.squash_count = 0
+
+    def start(self) -> None:
+        """Start the wall-clock deadline."""
+        self._start = self._clock()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 before it)."""
+        if self._start is None:
+            return 0.0
+        return self._clock() - self._start
+
+    def note_squash(self, events_processed: int) -> None:
+        """Record one squash at the given engine event count."""
+        self.squash_count += 1
+        self._squashes.append(events_processed)
+
+    def squash_rate(self, events_processed: int) -> float:
+        """Squashes per 1000 events over the sliding window."""
+        window = self.budgets.squash_window_events
+        horizon = events_processed - window
+        # Drop history older than the window (amortized O(1)).
+        keep = 0
+        while (keep < len(self._squashes)
+               and self._squashes[keep] <= horizon):
+            keep += 1
+        if keep:
+            del self._squashes[:keep]
+        span = min(window, max(events_processed, 1))
+        return len(self._squashes) * 1000.0 / span
+
+    def charge(self, machine) -> None:
+        """Check every budget; raise :class:`BudgetExceeded` on the
+        first one crossed.  Call only at quiescent chunk boundaries."""
+        budgets = self.budgets
+        events = machine.engine.events_processed
+        depth = machine.engine.pending()
+        self.peak_queue_depth = max(self.peak_queue_depth, depth)
+        if (budgets.deadline_seconds is not None
+                and self.elapsed > budgets.deadline_seconds):
+            raise BudgetExceeded(
+                f"wall-clock deadline of {budgets.deadline_seconds:.1f}s "
+                f"exceeded ({self.elapsed:.1f}s elapsed at cycle "
+                f"{machine.engine.now:.0f})",
+                budget="deadline", limit=budgets.deadline_seconds,
+                observed=self.elapsed)
+        if (budgets.max_event_queue_depth is not None
+                and depth > budgets.max_event_queue_depth):
+            raise BudgetExceeded(
+                f"event queue depth {depth} exceeds the budget of "
+                f"{budgets.max_event_queue_depth}",
+                budget="event-queue",
+                limit=budgets.max_event_queue_depth, observed=depth)
+        if budgets.max_squash_rate is not None:
+            rate = self.squash_rate(events)
+            if rate > budgets.max_squash_rate:
+                raise BudgetExceeded(
+                    f"squash rate {rate:.1f}/1k events exceeds the "
+                    f"budget of {budgets.max_squash_rate:.1f}",
+                    budget="squash-rate",
+                    limit=budgets.max_squash_rate, observed=rate)
+        if (budgets.max_log_bytes_per_proc is not None
+                and machine.recorder is not None):
+            per_proc = proc_log_bytes(machine.recorder)
+            worst_proc, worst = max(
+                per_proc.items(), key=lambda item: (item[1], -item[0]))
+            self.peak_log_bytes = max(self.peak_log_bytes, worst)
+            if worst > budgets.max_log_bytes_per_proc:
+                raise BudgetExceeded(
+                    f"processor {worst_proc} logged {worst} bytes, "
+                    f"over the {budgets.max_log_bytes_per_proc}-byte "
+                    f"budget",
+                    budget="log-bytes",
+                    limit=budgets.max_log_bytes_per_proc,
+                    observed=worst, proc=worst_proc)
+
+    def consumption(self, machine=None) -> dict:
+        """JSON-friendly snapshot of consumption vs. budgets."""
+        snapshot = {
+            "wall_seconds": round(self.elapsed, 3),
+            "deadline_seconds": self.budgets.deadline_seconds,
+            "peak_queue_depth": self.peak_queue_depth,
+            "max_event_queue_depth": self.budgets.max_event_queue_depth,
+            "squashes": self.squash_count,
+            "max_squash_rate": self.budgets.max_squash_rate,
+            "peak_log_bytes": self.peak_log_bytes,
+            "max_log_bytes_per_proc": (
+                self.budgets.max_log_bytes_per_proc),
+        }
+        if machine is not None and machine.recorder is not None:
+            per_proc = proc_log_bytes(machine.recorder)
+            snapshot["log_bytes_per_proc"] = {
+                str(proc): size for proc, size in sorted(per_proc.items())}
+            snapshot["peak_log_bytes"] = max(
+                self.peak_log_bytes, max(per_proc.values(), default=0))
+        return snapshot
+
+
+__all__ = ["BudgetMeter", "Budgets", "proc_log_bytes"]

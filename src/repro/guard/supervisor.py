@@ -1,0 +1,602 @@
+"""The supervisor: run a session under watchdogs, budgets, journal and
+degradation, and report what happened.
+
+:func:`supervise_record` owns the machine's event loop (it pumps
+:meth:`~repro.machine.engine.EventEngine.step` itself, like the
+debugger's replay controller does) so it can interleave execution with
+guard work at exactly the right moments:
+
+* every ``poll_stride`` dispatched events: :meth:`Watchdog.poll`
+  (stall classification) and the event-budget check;
+* at every quiescent chunk boundary: :meth:`BudgetMeter.charge`
+  (typed budget enforcement -- never mid-commit), journal flushing,
+  and the Perfetto ``guard`` counter track;
+* on ``log-bytes`` exhaustion: cut the segment and restart the rest in
+  a safer mode (:mod:`repro.guard.degrade`); likewise on repeated
+  replay-verification divergence when ``verify_segments`` is on.
+
+Every exit path produces a :class:`SupervisionReport` -- a structured,
+JSON-friendly account of the outcome (``completed``,
+``degraded-completed``, ``stalled``, ``budget-exceeded``,
+``deadlock``, ``verification-failed``), the stall classification and
+telemetry snapshot when there is one, budget consumption, journal
+state, and the resulting recording artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.modes import ExecutionMode, ModeConfig, preferred_config
+from repro.core.recorder import Recording
+from repro.core.replayer import verify_determinism
+from repro.errors import (
+    BudgetExceeded,
+    ConfigurationError,
+    DeadlockError,
+    IntegrityError,
+    ReplayDivergenceError,
+    StallError,
+)
+from repro.guard.degrade import (
+    RecordedSegment,
+    SegmentedRecording,
+    build_segment_record_machine,
+    capture_boundary,
+    replay_stitched,
+    safer_mode,
+    segment_start_checkpoint,
+)
+from repro.guard.journal import RecordingJournal, partial_recording
+from repro.guard.limits import BudgetMeter, Budgets
+from repro.guard.watchdog import Watchdog, WatchdogConfig
+from repro.machine.system import ChunkMachine, build_replay_machine
+from repro.machine.timing import MachineConfig
+from repro.telemetry.tracer import NULL_TRACER
+
+#: Commits between full budget charges (log-size accounting re-encodes
+#: the logs, so charging every single boundary would be quadratic).
+_CHARGE_EVERY = 8
+
+
+@dataclass
+class SupervisionReport:
+    """Structured account of one supervised session."""
+
+    outcome: str
+    phase: str = "record"
+    classification: str | None = None
+    mode: str = ""
+    modes: list[str] = field(default_factory=list)
+    segments: list[dict] = field(default_factory=list)
+    budgets: dict = field(default_factory=dict)
+    stall: dict | None = None
+    error: str | None = None
+    wall_seconds: float = 0.0
+    events: int = 0
+    cycles: float = 0.0
+    global_commits: int = 0
+    journal: dict | None = None
+    verification: dict | None = None
+    recording: Recording | None = None
+    segmented: SegmentedRecording | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the session produced a usable recording."""
+        return self.outcome in ("completed", "degraded-completed")
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (artifacts excluded)."""
+        return {
+            "outcome": self.outcome,
+            "phase": self.phase,
+            "classification": self.classification,
+            "mode": self.mode,
+            "modes": list(self.modes),
+            "segments": list(self.segments),
+            "budgets": dict(self.budgets),
+            "stall": self.stall,
+            "error": self.error,
+            "wall_seconds": self.wall_seconds,
+            "events": self.events,
+            "cycles": self.cycles,
+            "global_commits": self.global_commits,
+            "journal": self.journal,
+            "verification": self.verification,
+        }
+
+    def summary(self) -> str:
+        """Greppable multi-line summary for CLI output and CI."""
+        lines = [
+            f"outcome: {self.outcome}",
+            f"phase: {self.phase}",
+            f"mode: {self.mode}",
+            f"commits: {self.global_commits}",
+            f"events: {self.events}",
+            f"wall-seconds: {self.wall_seconds:.2f}",
+        ]
+        if self.classification:
+            lines.append(f"classification: {self.classification}")
+        if self.error:
+            lines.append(f"error: {self.error}")
+        if len(self.modes) > 1:
+            lines.append("mode-chain: " + " -> ".join(self.modes))
+        for seg in self.segments:
+            lines.append(
+                f"segment: mode={seg['mode']} commits={seg['commits']} "
+                f"reason={seg['reason']}")
+        if self.journal:
+            lines.append(
+                f"journal: {self.journal.get('path', '?')} "
+                f"flushes={self.journal.get('flushes', 0)} "
+                f"flushed-commits="
+                f"{self.journal.get('flushed_commits', 0)}")
+        if self.verification:
+            lines.append(
+                f"verification: "
+                f"{'ok' if self.verification.get('matches') else 'DIVERGED'}")
+        return "\n".join(lines)
+
+
+class _GuardObserver:
+    """Machine observer feeding the watchdog and the budget meter."""
+
+    def __init__(self, machine, watchdog: Watchdog,
+                 meter: BudgetMeter) -> None:
+        self.machine = machine
+        self.watchdog = watchdog
+        self.meter = meter
+        self.boundary_dirty = False
+
+    def on_commit(self, chunk, fingerprint, count) -> None:
+        self.watchdog.note_commit(count)
+        self.boundary_dirty = True
+
+    def on_dma(self, writes, fingerprint, count) -> None:
+        self.watchdog.note_commit(count)
+        self.boundary_dirty = True
+
+    def on_squash(self, proc, victim_seqs, cause) -> None:
+        self.watchdog.note_squash(proc, cause)
+        self.meter.note_squash(self.machine.engine.events_processed)
+
+    def on_interrupt(self, proc, event) -> None:
+        pass
+
+
+def _pump(machine, watchdog: Watchdog, meter: BudgetMeter,
+          journal: RecordingJournal | None, tracer,
+          max_events: int | None):
+    """Drive the machine to completion under guard supervision.
+
+    Returns the machine's RunResult; raises StallError /
+    BudgetExceeded / DeadlockError (and the machine's own fatal
+    errors) with the divergence context attached, exactly like
+    :meth:`ChunkMachine.run` does.
+    """
+    engine = machine.engine
+    arbiter = machine.arbiter
+    observer = machine.observer
+    metrics = tracer.metrics
+    m_flushes = metrics.counter("guard_journal_flushes")
+    budget = machine.start(max_events)
+    stride = watchdog.config.poll_stride
+    next_poll = engine.events_processed + stride
+    last_charged = 0
+    try:
+        while engine.step():
+            events = engine.events_processed
+            if events >= next_poll:
+                next_poll = events + stride
+                watchdog.poll()
+                if events > budget:
+                    raise DeadlockError(
+                        f"simulation exceeded {budget} events at cycle "
+                        f"{engine.now:.0f}; the machine is likely "
+                        f"livelocked")
+            if (observer.boundary_dirty and not arbiter.committing
+                    and not arbiter.has_reservation):
+                observer.boundary_dirty = False
+                commits = len(machine._fingerprints)
+                if commits - last_charged >= _CHARGE_EVERY:
+                    last_charged = commits
+                    meter.charge(machine)
+                    if tracer.enabled:
+                        now = engine.now
+                        tracer.counter("guard", "log_bytes", now,
+                                       peak=meter.peak_log_bytes)
+                        tracer.counter("guard", "queue_depth", now,
+                                       depth=engine.pending())
+                        tracer.counter(
+                            "guard", "squash_rate", now,
+                            per_1k=round(meter.squash_rate(events), 2))
+                if journal is not None and journal.maybe_flush():
+                    m_flushes.inc()
+        machine._check_drained()
+    except (ReplayDivergenceError, DeadlockError,
+            IntegrityError) as error:
+        error.context = machine._divergence_context()
+        raise
+    machine._finished = True
+    return machine._collect()
+
+
+def _finish_recording(machine, result) -> Recording:
+    """Assemble the completed segment's Recording (the same way
+    :func:`~repro.machine.system.record_execution` does)."""
+    recorder = machine.recorder
+    recorder.finish()
+    strata = []
+    if recorder.stratifier is not None:
+        strata = [s.counts for s in recorder.stratifier.strata]
+    return Recording(
+        mode_config=machine.mode_config,
+        machine_config=machine.config,
+        program=machine.program,
+        pi_log=recorder.pi_log,
+        cs_logs=recorder.cs_logs,
+        interrupt_logs=recorder.interrupt_logs,
+        io_logs=recorder.io_logs,
+        dma_log=recorder.dma_log,
+        strata=strata,
+        stratified=machine.mode_config.stratify,
+        fingerprints=result.fingerprints,
+        per_proc_fingerprints=result.per_proc_fingerprints,
+        final_memory=result.final_memory,
+        final_thread_keys=result.final_thread_keys,
+        stats=result.stats,
+        memory_ordering=recorder.memory_ordering_log(),
+        interval_checkpoints=machine.interval_checkpoints,
+    )
+
+
+def _quiescent(machine) -> bool:
+    return (not machine.arbiter.committing
+            and not machine.arbiter.has_reservation)
+
+
+def _close_journal(journal: RecordingJournal | None,
+                   machine) -> dict | None:
+    """Close the journal, final-flushing when the machine is at a
+    boundary (a stall can leave it mid-flight)."""
+    if journal is None:
+        return None
+    try:
+        journal.close(final_flush=_quiescent(machine))
+    except ConfigurationError:
+        journal.close(final_flush=False)
+    return {
+        "path": journal.path,
+        "flushes": journal.flush_count,
+        "flushed_commits": journal.flushed_commits,
+        "bytes": journal.bytes_written,
+    }
+
+
+def _verify_segment(recording: Recording,
+                    stop_after: int) -> tuple[bool, str]:
+    """Replay-verify one segment; separable so tests can force
+    divergence.  ``stop_after`` is 0 for a complete segment and the
+    commit count for a cut one."""
+    from repro.machine.system import replay_execution
+
+    try:
+        result = replay_execution(
+            recording, use_strata=False, stop_after=stop_after)
+    except (ReplayDivergenceError, DeadlockError,
+            IntegrityError) as error:
+        return False, f"{type(error).__name__}: {error}"
+    return result.determinism.matches, result.determinism.summary()
+
+
+def supervise_record(
+    program,
+    mode: ExecutionMode = ExecutionMode.ORDER_ONLY,
+    machine_config: MachineConfig | None = None,
+    mode_config: ModeConfig | None = None,
+    *,
+    budgets: Budgets | None = None,
+    watchdog_config: WatchdogConfig | None = None,
+    journal_path: str | None = None,
+    flush_every: int = 25,
+    degrade: bool = True,
+    verify_segments: bool = False,
+    verify_attempts: int = 2,
+    stochastic_overflow_rate: float = 0.0,
+    checkpoint_every: int = 0,
+    max_events: int | None = None,
+    tracer=None,
+) -> SupervisionReport:
+    """Record ``program`` under full supervision.
+
+    Returns a :class:`SupervisionReport`; never hangs and never loses
+    the flushed prefix.  On ``log-bytes`` exhaustion (or repeated
+    verification divergence with ``verify_segments``) the session
+    degrades up the mode ladder instead of failing, producing a
+    :class:`~repro.guard.degrade.SegmentedRecording`.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = tracer.metrics
+    m_stalls = metrics.counter("guard_stalls_detected")
+    m_budget = metrics.counter("guard_budget_exceeded")
+    m_segments = metrics.counter("guard_segments_recorded")
+    m_degrades = metrics.counter("guard_mode_degradations")
+
+    machine_config = machine_config or MachineConfig()
+    if mode_config is not None and mode_config.mode is not mode:
+        raise ConfigurationError(
+            f"mode_config is for {mode_config.mode}, not {mode}")
+    current_config = mode_config or preferred_config(mode)
+    budgets = budgets or Budgets()
+
+    segments: list[RecordedSegment] = []
+    boundary = None
+    verify_failures = 0
+    modes_seen: list[str] = []
+    total_wall = 0.0
+    total_events = 0
+
+    def make_report(outcome: str, **kw) -> SupervisionReport:
+        report = SupervisionReport(
+            outcome=outcome, phase="record",
+            mode=current_config.mode.value,
+            modes=modes_seen or [current_config.mode.value],
+            segments=[{
+                "mode": seg.mode.value, "commits": seg.commits,
+                "reason": seg.reason} for seg in segments],
+            wall_seconds=round(total_wall, 3),
+            events=total_events,
+            **kw)
+        return report
+
+    while True:
+        if current_config.mode.value not in modes_seen:
+            modes_seen.append(current_config.mode.value)
+        if boundary is None:
+            seg_machine_config = replace(
+                machine_config,
+                standard_chunk_size=current_config.standard_chunk_size)
+            machine = ChunkMachine(
+                program, seg_machine_config, current_config,
+                stochastic_overflow_rate=stochastic_overflow_rate,
+                checkpoint_every=checkpoint_every,
+                tracer=tracer)
+            seg_checkpoint = None
+        else:
+            machine, _ = build_segment_record_machine(
+                program, boundary, machine_config,
+                current_config.mode, mode_config=current_config,
+                stochastic_overflow_rate=stochastic_overflow_rate,
+                checkpoint_every=checkpoint_every,
+                tracer=tracer)
+            seg_checkpoint = segment_start_checkpoint(
+                boundary, machine.config.num_processors)
+
+        watchdog = Watchdog(machine, watchdog_config)
+        meter = BudgetMeter(budgets)
+        meter.start()
+        machine.observer = _GuardObserver(machine, watchdog, meter)
+        journal = None
+        if journal_path is not None:
+            seg_path = (journal_path if not segments
+                        else f"{journal_path}.seg{len(segments)}")
+            journal = RecordingJournal(seg_path, machine,
+                                       flush_every=flush_every)
+
+        try:
+            result = _pump(machine, watchdog, meter, journal, tracer,
+                           max_events)
+        except StallError as error:
+            m_stalls.inc()
+            metrics.counter(
+                f"guard_stall_{error.classification}").inc()
+            total_wall += meter.elapsed
+            total_events += machine.engine.events_processed
+            return make_report(
+                "stalled",
+                classification=error.classification,
+                stall=error.details,
+                error=str(error),
+                budgets=meter.consumption(machine),
+                cycles=machine.engine.now,
+                global_commits=len(machine._fingerprints),
+                journal=_close_journal(journal, machine))
+        except BudgetExceeded as error:
+            m_budget.inc()
+            total_wall += meter.elapsed
+            total_events += machine.engine.events_processed
+            next_mode = safer_mode(current_config.mode)
+            if (degrade and error.budget == "log-bytes"
+                    and next_mode is not None):
+                # Cut here: the budget raised at a quiescent boundary,
+                # so the committed prefix is a clean segment.
+                segment = RecordedSegment(
+                    recording=partial_recording(machine),
+                    mode=current_config.mode,
+                    start_checkpoint=seg_checkpoint,
+                    reason=f"degraded:{error.budget}")
+                new_boundary = capture_boundary(machine)
+                _close_journal(journal, machine)
+                segments.append(segment)
+                m_segments.inc()
+                m_degrades.inc()
+                boundary = new_boundary
+                current_config = preferred_config(next_mode)
+                verify_failures = 0
+                continue
+            return make_report(
+                "budget-exceeded",
+                classification=f"budget:{error.budget}",
+                error=str(error),
+                budgets=meter.consumption(machine),
+                cycles=machine.engine.now,
+                global_commits=len(machine._fingerprints),
+                journal=_close_journal(journal, machine))
+        except DeadlockError as error:
+            total_wall += meter.elapsed
+            total_events += machine.engine.events_processed
+            return make_report(
+                "deadlock",
+                classification="deadlock",
+                stall=watchdog.snapshot(),
+                error=str(error),
+                budgets=meter.consumption(machine),
+                cycles=machine.engine.now,
+                global_commits=len(machine._fingerprints),
+                journal=_close_journal(journal, machine))
+
+        # Clean completion of this (possibly final) segment.
+        total_wall += meter.elapsed
+        total_events += machine.engine.events_processed
+        recording = _finish_recording(machine, result)
+        journal_info = _close_journal(journal, machine)
+
+        if verify_segments:
+            matches, detail = _verify_segment(recording, stop_after=0)
+            if not matches:
+                verify_failures += 1
+                next_mode = safer_mode(current_config.mode)
+                if verify_failures < verify_attempts:
+                    continue  # re-record the same boundary, same mode
+                if degrade and next_mode is not None:
+                    m_degrades.inc()
+                    current_config = preferred_config(next_mode)
+                    verify_failures = 0
+                    continue  # same boundary, safer mode
+                return make_report(
+                    "verification-failed",
+                    classification="replay-divergence",
+                    error=detail,
+                    budgets=meter.consumption(machine),
+                    cycles=machine.engine.now,
+                    global_commits=len(recording.fingerprints),
+                    journal=journal_info)
+
+        final_segment = RecordedSegment(
+            recording=recording,
+            mode=current_config.mode,
+            start_checkpoint=seg_checkpoint,
+            reason="completed")
+        segments.append(final_segment)
+        m_segments.inc()
+
+        if len(segments) == 1:
+            report = make_report(
+                "completed",
+                budgets=meter.consumption(machine),
+                cycles=machine.engine.now,
+                global_commits=len(recording.fingerprints),
+                journal=journal_info)
+            report.recording = recording
+            if verify_segments:
+                report.verification = {"matches": True}
+            return report
+
+        segmented = SegmentedRecording(
+            segments=segments, program_name=program.name)
+        report = make_report(
+            "degraded-completed",
+            budgets=meter.consumption(machine),
+            cycles=machine.engine.now,
+            global_commits=segmented.total_commits,
+            journal=journal_info)
+        report.segmented = segmented
+        if verify_segments:
+            stitched = replay_stitched(segmented)
+            report.verification = {
+                "matches": stitched.matches,
+                "summary": stitched.summary(),
+            }
+        return report
+
+
+def supervise_replay(
+    recording: Recording,
+    *,
+    budgets: Budgets | None = None,
+    watchdog_config: WatchdogConfig | None = None,
+    perturbation=None,
+    max_events: int | None = None,
+    tracer=None,
+) -> SupervisionReport:
+    """Replay ``recording`` under watchdog and budget supervision.
+
+    A replayer waiting forever on an unsatisfiable ordering-log entry
+    is classified as a ``replay-stall`` instead of hanging.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = tracer.metrics
+    machine = build_replay_machine(
+        recording, perturbation=perturbation, use_strata=False,
+        tracer=tracer)
+    watchdog = Watchdog(machine, watchdog_config)
+    meter = BudgetMeter(budgets or Budgets())
+    meter.start()
+    machine.observer = _GuardObserver(machine, watchdog, meter)
+
+    def make_report(outcome: str, **kw) -> SupervisionReport:
+        return SupervisionReport(
+            outcome=outcome, phase="replay",
+            mode=recording.mode_config.mode.value,
+            modes=[recording.mode_config.mode.value],
+            wall_seconds=round(meter.elapsed, 3),
+            events=machine.engine.events_processed,
+            cycles=machine.engine.now,
+            global_commits=len(machine._fingerprints),
+            budgets=meter.consumption(machine),
+            **kw)
+
+    try:
+        result = _pump(machine, watchdog, meter, None, tracer,
+                       max_events)
+    except StallError as error:
+        metrics.counter("guard_stalls_detected").inc()
+        metrics.counter(f"guard_stall_{error.classification}").inc()
+        return make_report(
+            "stalled", classification=error.classification,
+            stall=error.details, error=str(error))
+    except BudgetExceeded as error:
+        metrics.counter("guard_budget_exceeded").inc()
+        return make_report(
+            "budget-exceeded",
+            classification=f"budget:{error.budget}",
+            error=str(error))
+    except (ReplayDivergenceError, DeadlockError,
+            IntegrityError) as error:
+        return make_report(
+            "deadlock" if isinstance(error, DeadlockError)
+            else "verification-failed",
+            classification=("deadlock"
+                            if isinstance(error, DeadlockError)
+                            else "replay-divergence"),
+            stall=watchdog.snapshot(),
+            error=str(error))
+
+    problems = machine.replay_source.verify_fully_consumed()
+    det = verify_determinism(
+        recording,
+        result.fingerprints,
+        result.per_proc_fingerprints,
+        result.final_memory,
+        result.final_thread_keys,
+        ordered=not machine.use_strata,
+    )
+    matches = det.matches and not problems
+    report = make_report("completed" if matches
+                         else "verification-failed")
+    report.verification = {
+        "matches": matches,
+        "summary": det.summary(),
+        "unconsumed": problems,
+    }
+    if not matches:
+        report.classification = "replay-divergence"
+    return report
+
+
+__all__ = [
+    "SupervisionReport",
+    "supervise_record",
+    "supervise_replay",
+]

@@ -24,10 +24,13 @@ cache.  Both encodings are deterministic: executing the same spec
 twice yields byte-identical artifacts (the cache determinism guard).
 
 :func:`invoke` is the actual pool entry point: it wraps
-:func:`execute_spec` with a SIGALRM-based hard timeout and converts
-every failure into a structured, picklable failure dictionary, so a
-crashing or hanging job degrades the sweep instead of poisoning the
-pool.
+:func:`execute_spec` with a hard per-job timeout -- SIGALRM on a unix
+main thread, an async-raise :class:`~repro.guard.watchdog.WatchdogTimer`
+everywhere else -- and converts every failure into a structured,
+picklable failure dictionary, so a crashing or hanging job degrades
+the sweep instead of poisoning the pool.  The pool itself adds a
+deadline sweep on top (see :mod:`repro.runner.pool`) for jobs wedged
+where no in-process exception can land.
 """
 
 from __future__ import annotations
@@ -222,6 +225,7 @@ def invoke(job_fn, spec: RunSpec, timeout: float | None,
     started = time.perf_counter()
     alarm_set = False
     previous_handler = None
+    watchdog = None
     if timeout and hasattr(signal, "SIGALRM"):
         try:
             previous_handler = signal.signal(signal.SIGALRM,
@@ -229,9 +233,15 @@ def invoke(job_fn, spec: RunSpec, timeout: float | None,
             signal.setitimer(signal.ITIMER_REAL, timeout)
             alarm_set = True
         except ValueError:
-            # Not the main thread (inline runs under unusual hosts):
-            # proceed without hard enforcement.
+            # Not the main thread: fall through to the watchdog timer.
             pass
+    if timeout and not alarm_set:
+        # Worker threads and non-unix platforms: enforce the deadline
+        # with an async-raise watchdog instead of dropping enforcement
+        # (the pool's deadline sweep backstops C-level blocking).
+        from repro.guard.watchdog import WatchdogTimer
+
+        watchdog = WatchdogTimer(timeout, JobTimeout).start()
     try:
         artifact = job_fn(spec, cache)
         return {"ok": True, "artifact": artifact,
@@ -256,3 +266,5 @@ def invoke(job_fn, spec: RunSpec, timeout: float | None,
         if alarm_set:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, previous_handler)
+        if watchdog is not None:
+            watchdog.cancel()

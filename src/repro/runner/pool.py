@@ -15,8 +15,13 @@ to a terminal state:
    1``) or inline (``jobs == 1``, the serial baseline -- no pool
    overhead, same code path for cache and retry).  Each attempt runs
    under a per-job wall-clock timeout enforced *inside* the worker
-   (SIGALRM), so a hung simulation turns into a structured timeout
-   failure rather than a stuck pool.
+   (SIGALRM on a unix main thread, an async-raise watchdog timer
+   elsewhere), so a hung simulation turns into a structured timeout
+   failure rather than a stuck pool.  A pool-side deadline sweep
+   backstops both: attempts still pending past
+   :func:`sweep_deadline` are abandoned and fed through the normal
+   retry path, so even a worker wedged in C code cannot stall the
+   sweep.
 5. **Retry** -- failed attempts (exceptions, timeouts, a crashed
    worker process) are retried with exponential backoff under a
    :class:`~repro.runner.retry.RetryPolicy`; a job that exhausts its
@@ -49,6 +54,24 @@ from repro.runner.specs import RunSpec
 
 class RunnerError(ReproError):
     """A sweep-level failure (raised by the strict helpers only)."""
+
+
+def sweep_deadline(timeout: float) -> float:
+    """Pool-side backstop budget for one attempt.
+
+    The in-worker enforcement (SIGALRM on the main thread, the async-
+    raise watchdog elsewhere) gets the first shot at a hung job; the
+    pool's deadline sweep only collects attempts stuck past it -- jobs
+    wedged in C code where no Python-level exception can land.  The
+    margin keeps the two mechanisms from racing on healthy timeouts.
+    """
+    return timeout + max(1.0, 0.5 * timeout)
+
+
+def overdue_futures(pending, deadlines, now: float) -> list:
+    """Futures in ``pending`` whose sweep deadline has passed."""
+    return [future for future, due in deadlines.items()
+            if due <= now and future in pending and not future.done()]
 
 
 @dataclass
@@ -271,6 +294,8 @@ class Runner:
         executor = self._new_executor(len(misses))
         # future -> (spec, attempt, failures, started, last_delay)
         pending: dict = {}
+        # future -> monotonic sweep deadline for that attempt
+        deadlines: dict = {}
         # (due_time, spec, attempt, failures, started, last_delay)
         retry_at: list = []
 
@@ -281,6 +306,25 @@ class Runner:
                 *self._cache_args)
             pending[future] = (spec, attempt, failures, started,
                                last_delay)
+            if self.timeout:
+                deadlines[future] = (time.monotonic()
+                                     + sweep_deadline(self.timeout))
+
+        def resolve_failure(spec, attempt, failures, started,
+                            last_delay, envelope):
+            failures.append(self._attempt_failure(envelope, attempt))
+            if self.retry.should_retry(attempt,
+                                       time.monotonic() - started):
+                delay = self._retry_delay(spec, attempt, last_delay)
+                self.metrics.retries += 1
+                self.reporter.on_retry(spec, attempt, delay,
+                                       failures[-1].brief())
+                retry_at.append((time.monotonic() + delay, spec,
+                                 attempt + 1, failures, started,
+                                 delay))
+            else:
+                outcomes[spec.content_hash()] = \
+                    self._finish_failure(spec, failures, started)
 
         try:
             for spec in misses:
@@ -305,10 +349,12 @@ class Runner:
                     return_when=concurrent.futures.FIRST_COMPLETED)
                 for future in done:
                     entry = pending.pop(future, None)
+                    deadlines.pop(future, None)
                     if entry is None:
                         # A pool break earlier in this batch already
                         # cleared pending and resubmitted this job on
-                        # the fresh executor; the stale future carries
+                        # the fresh executor (or the deadline sweep
+                        # abandoned it); the stale future carries
                         # nothing we still need.
                         continue
                     spec, attempt, failures, started, last_delay = \
@@ -333,6 +379,7 @@ class Runner:
                             len(pending) + len(retry_at) + 1)
                         survivors = list(pending.items())
                         pending.clear()
+                        deadlines.clear()
                         for _, (s_spec, s_attempt, s_failures,
                                 s_started, s_delay) in survivors:
                             submit(s_spec, s_attempt, s_failures,
@@ -350,22 +397,33 @@ class Runner:
                             self._finish_success(spec, envelope,
                                                  attempt)
                         continue
-                    failures.append(
-                        self._attempt_failure(envelope, attempt))
-                    if self.retry.should_retry(
-                            attempt, time.monotonic() - started):
-                        delay = self._retry_delay(spec, attempt,
-                                                  last_delay)
-                        self.metrics.retries += 1
-                        self.reporter.on_retry(spec, attempt, delay,
-                                               failures[-1].brief())
-                        retry_at.append((time.monotonic() + delay,
-                                         spec, attempt + 1, failures,
-                                         started, delay))
-                    else:
-                        outcomes[spec.content_hash()] = \
-                            self._finish_failure(spec, failures,
-                                                 started)
+                    resolve_failure(spec, attempt, failures, started,
+                                    last_delay, envelope)
+                # Deadline sweep: an attempt that outlived both the
+                # in-worker enforcement and the sweep margin is wedged
+                # below Python (C-level blocking); abandon its future
+                # -- the worker keeps its slot until it returns, but
+                # the job itself fails fast through the normal retry
+                # path instead of stalling the sweep forever.
+                for future in overdue_futures(pending, deadlines,
+                                              time.monotonic()):
+                    spec, attempt, failures, started, last_delay = \
+                        pending.pop(future)
+                    deadlines.pop(future, None)
+                    future.cancel()
+                    self.metrics.swept += 1
+                    resolve_failure(spec, attempt, failures, started,
+                                    last_delay, {
+                                        "ok": False,
+                                        "error_type": "JobTimeout",
+                                        "message":
+                                            f"job missed its "
+                                            f"{self.timeout:g}s "
+                                            f"deadline (pool sweep)",
+                                        "traceback": "",
+                                        "wall_time":
+                                            time.monotonic() - started,
+                                    })
         finally:
             executor.shutdown(wait=True, cancel_futures=True)
 

@@ -28,6 +28,7 @@ class RunnerMetrics:
     done: int = 0
     failed: int = 0
     retries: int = 0
+    swept: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     job_wall_times: list = field(default_factory=list)

@@ -22,6 +22,10 @@ from __future__ import annotations
 
 import random
 
+from repro.machine.events import (
+    INTERRUPT_CONTROLLER_BASE,
+    InterruptEvent,
+)
 from repro.machine.program import Op, OpKind, Program
 from repro.workloads.program_builder import shared_address
 
@@ -98,3 +102,70 @@ def handoff_program(threads: int = 4, laps: int = 6) -> Program:
     initial[token] = 7
     return Program(threads=thread_ops, name="handoff",
                    initial_memory=initial)
+
+
+def starvation_program(threads: int = 4, laps: int = 6) -> Program:
+    """The stall zoo's lock-starvation specimen: :func:`handoff_program`
+    with *every* gate initially held, thread 0's included.
+
+    No gate ever opens, so every thread spins at its first LOCK
+    forever.  The machine looks perfectly healthy -- spin chunks are
+    read-only and commit happily in every mode -- but no thread's
+    architectural state ever advances.  An unsupervised run burns its
+    whole event budget; a supervised one is classified
+    ``lock-starvation`` by the watchdog's progress detector.
+    """
+    program = handoff_program(threads=threads, laps=laps)
+    gate0 = shared_address(0x1000)
+    initial = dict(program.initial_memory)
+    initial[gate0] = 1  # nobody will ever release thread 0's gate
+    return Program(threads=program.threads, name="starvation",
+                   initial_memory=initial,
+                   io_seed=program.io_seed)
+
+
+def squash_livelock_program(interrupts: int = 400,
+                            spacing: float = 60.0,
+                            handler_ops: int = 8) -> Program:
+    """The stall zoo's squash-livelock specimen: two spinners whose
+    gates sit on the interrupt controller's status lines, kept slammed
+    shut by each other's interrupt handlers.
+
+    Thread ``i`` spins on a LOCK at ``status_word(vector_i) + 1`` --
+    exactly the word the deterministic handler body for ``vector_i``
+    stores ``payload ^ vector`` to (see
+    :func:`repro.machine.events.build_handler_ops`).  The interrupt
+    stream delivers ``vector_1`` to processor 0 and ``vector_0`` to
+    processor 1, with payloads chosen so the stored value is non-zero:
+    the gates *never* open.  Every handler commit conflicts with the
+    other processor's in-flight spin chunk, so the two processors
+    squash each other in a perfect ping-pong (``collision:p0`` /
+    ``collision:p1``) while neither ever advances -- the squash-livelock
+    signature the watchdog classifies.
+    """
+    def status_word(vector: int) -> int:
+        return INTERRUPT_CONTROLLER_BASE + (vector % 256) * 16
+
+    vectors = (2, 5)  # distinct controller lines, distinct cache lines
+    payloads = (0, 0)  # payload ^ vector != 0: the gate stays held
+    thread_ops: list[list[Op]] = []
+    for thread, vector in enumerate(vectors):
+        gate = status_word(vector) + 1
+        thread_ops.append([
+            Op(OpKind.LOCK, address=gate),
+            Op(OpKind.STORE, address=shared_address(0x3000 + thread * 8)),
+        ])
+    events = []
+    for index in range(interrupts):
+        target = index % 2
+        other = 1 - target
+        events.append(InterruptEvent(
+            time=20.0 + index * spacing,
+            processor=target,
+            vector=vectors[other],
+            payload=payloads[other],
+            handler_ops=handler_ops,
+        ))
+    initial = {status_word(v) + 1: 1 for v in vectors}
+    return Program(threads=thread_ops, name="squash-livelock",
+                   initial_memory=initial, interrupts=events)
