@@ -184,6 +184,66 @@ def find_contended_lines(recording: Recording,
     )
 
 
+@dataclass(frozen=True)
+class ExplorationTarget:
+    """A contended line recast as a schedule-exploration branch point.
+
+    ``prefix`` is a grant-order prescription (processor IDs, the
+    :class:`~repro.core.arbiter.SchedulePlan` ``prefix`` wire format)
+    that replays the recorded commit order up to the closest
+    cross-writer pair and then *reverses* it: the later writer's
+    commits are granted before the earlier writer's -- the classic
+    DPOR backtrack point, derived here from a recording instead of a
+    live execution.  ``window`` is the matching
+    :func:`replay_window_for` interval for debugging the neighbourhood.
+    """
+
+    address: int
+    first_commit: int
+    second_commit: int
+    writers: tuple[int, int]
+    prefix: tuple[int, ...]
+    window: tuple[int, int]
+
+
+def exploration_targets(recording: Recording,
+                        limit: int = 16) -> list[ExplorationTarget]:
+    """Initial DPOR branch points mined from a recording.
+
+    Takes the tightest cross-writer pairs from
+    :func:`find_contended_lines` and, for each, builds the grant-order
+    prefix that forces the *second* writer's chunks to commit before
+    the *first* writer's racing chunk.  DMA pairs are skipped: DMA
+    bursts bypass the ordering policy (they own their commit slot), so
+    no prefix can reorder them.
+
+    The explorer (:mod:`repro.explore`) seeds its frontier with these,
+    so the very first perturbed schedules attack the recording's
+    observed races instead of permuting blindly.
+    """
+    grant_order = [fp[0] for fp in recording.fingerprints]
+    targets: list[ExplorationTarget] = []
+    for line in find_contended_lines(recording, include_dma=False).lines:
+        if len(targets) >= max(0, limit):
+            break
+        first, second = line.closest_pair
+        if DMA_WRITER in (first.writer, second.writer):
+            continue
+        i, j = first.commit_index, second.commit_index
+        flipped = grant_order[:i] + [
+            second.writer for k in range(i, j + 1)
+            if grant_order[k] == second.writer]
+        targets.append(ExplorationTarget(
+            address=line.address,
+            first_commit=i,
+            second_commit=j,
+            writers=(first.writer, second.writer),
+            prefix=tuple(flipped),
+            window=replay_window_for(line),
+        ))
+    return targets
+
+
 def replay_window_for(line: ContendedLine,
                       margin: int = 4) -> tuple[int, int]:
     """The ``(at_commit, length)`` interval-replay window bracketing a

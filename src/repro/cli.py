@@ -44,6 +44,7 @@ from repro.faults import (
 from repro.runner.retry import RetryPolicy
 from repro.runner import (
     ConsoleReporter,
+    NullReporter,
     ResultCache,
     Runner,
     RunSpec,
@@ -64,6 +65,7 @@ from repro.runner.figures import (
     validate_apps,
 )
 from repro.workloads import (
+    BUG_ZOO,
     COMMERCIAL_APPS,
     SPLASH2_APPS,
     commercial_program,
@@ -396,7 +398,115 @@ def _cmd_modes(args) -> int:
     return 0 if runner.metrics.failed == 0 else 1
 
 
+def _cmd_explore(args) -> int:
+    from repro.explore import run_exploration
+
+    app = args.workload
+    if app in BUG_ZOO:
+        app = f"zoo:{app}"
+    label = _mode_from_spelling(args.mode)
+    tracer = EventTracer()
+    # The campaign runs many tiny waves; per-wave progress lines are
+    # noise, so default to the null reporter (--report overrides).
+    try:
+        reporter = reporter_from_option(args.report, NullReporter())
+    except ValueError as error:
+        raise ReproError(str(error)) from None
+    runner = Runner(
+        jobs=max(1, args.jobs),
+        cache=False if args.no_cache else ResultCache(),
+        timeout=args.timeout,
+        reporter=reporter,
+    )
+    report = run_exploration(
+        app, _MODES[label],
+        budget=args.budget,
+        campaign_seed=args.campaign_seed,
+        change_points=args.change_points,
+        stop_on_first=not args.exhaustive,
+        bisect=not args.no_bisect,
+        num_threads=args.threads,
+        runner=runner, tracer=tracer)
+    print(report.summary())
+    for result in report.results:
+        if result.outcome != "pass":
+            print(f"  {result.outcome:10s} [{result.source}] "
+                  f"{result.classification}: {result.detail}")
+    bisection = report.bisection
+    if bisection and "error" in bisection:
+        print(f"  bisection failed: {bisection['error']}")
+        bisection = None
+    if bisection:
+        print(f"  minimal repro: {bisection['prefix_length']} "
+              f"prescribed grant(s) (full schedule "
+              f"{bisection['full_length']}), first divergence at "
+              f"commit {bisection['divergence_commit']}, "
+              f"debugger-verified="
+              f"{'yes' if bisection['verified'] else 'NO'} "
+              f"({bisection['runs']} probe runs)")
+        if args.dlrn_out and bisection.get("recording_b64"):
+            import base64 as _base64
+
+            blob = _base64.b64decode(bisection["recording_b64"])
+            with open(args.dlrn_out, "wb") as handle:
+                handle.write(blob)
+            print(f"  wrote minimal repro to {args.dlrn_out} "
+                  f"(load it with: python -m repro debug "
+                  f"{args.dlrn_out})")
+    if args.out:
+        report.write_jsonl(args.out)
+        print(f"wrote campaign report to {args.out}")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(tracer.metrics.as_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote telemetry counters to {args.metrics}")
+    found = bool(report.failures)
+    if args.expect_failure:
+        # CI smoke semantics: the campaign must find a reproducible
+        # failure AND shrink it to a debugger-verified minimal repro.
+        verified = bool(bisection and bisection.get("verified"))
+        return 0 if found and verified else 1
+    return 0 if report.clean else 1
+
+
+def _cmd_bench_baseline(args) -> int:
+    from repro.runner.baseline import (
+        collect_baseline,
+        compare_baselines,
+        load_baseline,
+        render_baseline,
+        write_baseline,
+    )
+
+    apps = validate_apps(args.apps) if args.apps else None
+    app = apps[0] if apps else "fft"
+    current = collect_baseline(app, scale=args.scale, seed=args.seed,
+                               jobs=max(1, args.jobs),
+                               figure_apps=apps)
+    print(render_baseline(current))
+    if args.baseline:
+        write_baseline(args.baseline, current)
+        print(f"wrote baseline snapshot to {args.baseline}")
+    if args.check_baseline:
+        reference = load_baseline(args.check_baseline)
+        regressions = compare_baselines(current, reference,
+                                        threshold=args.threshold)
+        if regressions:
+            print(f"\n{len(regressions)} regression(s) against "
+                  f"{args.check_baseline}:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"within threshold {args.threshold:g} of "
+              f"{args.check_baseline}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
+    if args.baseline or args.check_baseline:
+        return _cmd_bench_baseline(args)
     if args.list:
         rows = [[figure.name, figure.description]
                 for figure in FIGURES.values()]
@@ -650,8 +760,66 @@ def build_parser() -> argparse.ArgumentParser:
                             "$REPRO_BENCH_SEED or 11)")
     bench.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress lines")
+    bench.add_argument("--baseline", metavar="BENCH.json",
+                       default=None,
+                       help="measure a machine-readable performance "
+                            "snapshot (record/replay events/sec per "
+                            "mode, fig10/fig11 wall time) and write "
+                            "it here instead of rendering figures")
+    bench.add_argument("--check-baseline", metavar="BENCH.json",
+                       default=None,
+                       help="measure a fresh snapshot and fail if it "
+                            "regresses past --threshold against this "
+                            "reference")
+    bench.add_argument("--threshold", type=float, default=0.1,
+                       help="minimum acceptable current/reference "
+                            "throughput ratio (default 0.1; wall "
+                            "times may grow by at most its "
+                            "reciprocal)")
     add_runner_options(bench, timeout=True)
     bench.set_defaults(func=_cmd_bench)
+
+    explore = sub.add_parser(
+        "explore",
+        help="hunt schedule-dependent failures: perturb the commit-"
+             "grant order (DPOR + PCT) on the deterministic "
+             "substrate, then bisect any failure to a minimal "
+             "debugger-loadable repro")
+    explore.add_argument(
+        "workload", choices=sorted(BUG_ZOO) + workloads,
+        help="a bug-zoo specimen or any standard workload")
+    explore.add_argument("--mode", default="order-only",
+                         help="execution mode (separator-"
+                              "insensitive); predefined-order modes "
+                              "have a single schedule")
+    explore.add_argument("--budget", type=int, default=64,
+                         help="max schedules to explore (default 64)")
+    explore.add_argument("--campaign-seed", type=int, default=0,
+                         help="seed of the PCT trial stream (same "
+                              "seed => byte-identical campaign)")
+    explore.add_argument("--change-points", type=int, default=2,
+                         help="PCT priority change points per trial "
+                              "(default 2)")
+    explore.add_argument("--threads", type=int, default=8,
+                         help="simulated processors (default 8)")
+    explore.add_argument("--exhaustive", action="store_true",
+                         help="run the whole budget instead of "
+                              "stopping at the first failure")
+    explore.add_argument("--no-bisect", action="store_true",
+                         help="skip shrinking the failing schedule")
+    explore.add_argument("--expect-failure", action="store_true",
+                         help="exit 0 only if a verified reproducible "
+                              "failure was found (CI smoke); default "
+                              "exit 0 = no failures found")
+    explore.add_argument("--out", metavar="REPORT.jsonl",
+                         help="write the JSONL campaign report here")
+    explore.add_argument("--dlrn-out", metavar="REPRO.dlrn",
+                         help="write the minimal repro recording "
+                              "here (repro debug loads it)")
+    explore.add_argument("--metrics", metavar="METRICS.json",
+                         help="write the telemetry counters here")
+    add_runner_options(explore, timeout=True)
+    explore.set_defaults(func=_cmd_explore)
 
     races = sub.add_parser(
         "races", help="report cross-writer contention in a recording")

@@ -29,6 +29,7 @@ piece must commit immediately after, with no foreign commit in between
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -74,6 +75,22 @@ class TokenStats:
         }
 
 
+def arrival_key(chunk: Chunk) -> tuple:
+    """Explicit, platform-independent arrival ordering key.
+
+    The pending list is appended in event-dispatch order, which is
+    deterministic *within* one interpreter but an implementation detail
+    of the event engine.  Ordering by ``(request_time, processor,
+    logical_seq, piece_index)`` instead makes the realized grant order a
+    pure function of the simulated execution, so explored schedules are
+    content-addressable and cache hits are sound across platforms
+    (requests that tie on arrival cycle resolve by processor ID, never
+    by queue-insertion accident).
+    """
+    return (chunk.request_time, chunk.processor, chunk.logical_seq,
+            chunk.piece_index)
+
+
 class ArrivalOrderPolicy:
     """Record-mode policy for Order&Size/OrderOnly: strict arrival
     order.
@@ -86,6 +103,10 @@ class ArrivalOrderPolicy:
     grantable) chunks whose read sets conflict with the holder's
     pending unlock, starving it forever.  Head-of-line blocking bounds
     every wait by the in-flight commits' latency.
+
+    "Oldest" is defined by :func:`arrival_key`, which breaks
+    same-cycle arrival ties by processor ID so the grant order is
+    explicitly deterministic.
     """
 
     def select(self, pending: list[Chunk], committing: list[Chunk],
@@ -94,7 +115,7 @@ class ArrivalOrderPolicy:
         in-flight commit."""
         if not pending:
             return None
-        head = pending[0]
+        head = min(pending, key=arrival_key)
         if any(self._overlaps(head, other) for other in committing):
             return None
         return head
@@ -112,6 +133,176 @@ class ArrivalOrderPolicy:
 
     def finish(self) -> None:
         """Nothing to flush."""
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """A deterministic prescription of the record-phase commit order.
+
+    The schedule-space explorer (:mod:`repro.explore`) perturbs the
+    arbiter's grant order through one of these.  A plan is pure data --
+    JSON-friendly, hashable, content-addressable -- and the schedule it
+    induces is a deterministic function of (plan, program, machine
+    config), so every explored schedule can be re-recorded and cached.
+
+    ``prefix``
+        Processor IDs granted first, in exactly this order (the DPOR
+        branch prescriptions).  An entry whose processor can never
+        commit again is skipped, so prefixes lifted from one execution
+        stay usable after the reordering changes the tail.
+    ``seed``
+        After the prefix, grant by PCT-style randomized priorities
+        derived from this seed (``None`` falls back to arrival order).
+    ``change_points``
+        Policy-grant indices at which the currently highest-priority
+        active processor is demoted below every other (PCT's d priority
+        change points, positions chosen by the explorer from the same
+        campaign seed).
+    """
+
+    seed: int | None = None
+    prefix: tuple[int, ...] = ()
+    change_points: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "prefix", tuple(self.prefix))
+        object.__setattr__(self, "change_points",
+                           tuple(sorted(self.change_points)))
+
+    @property
+    def is_natural(self) -> bool:
+        """True when the plan prescribes nothing (the default order)."""
+        return (self.seed is None and not self.prefix
+                and not self.change_points)
+
+    def priorities(self, num_processors: int) -> dict[int, int]:
+        """Seed-derived priority per processor (higher commits first).
+
+        Deterministic: the same seed always yields the same
+        permutation, on every platform.
+        """
+        order = list(range(num_processors))
+        if self.seed is not None:
+            random.Random(self.seed).shuffle(order)
+        return {proc: num_processors - rank
+                for rank, proc in enumerate(order)}
+
+    def as_dict(self) -> dict:
+        """JSON form (the explore report / RunSpec encoding)."""
+        return {"seed": self.seed, "prefix": list(self.prefix),
+                "change_points": list(self.change_points)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchedulePlan":
+        """Inverse of :meth:`as_dict`."""
+        return cls(seed=data.get("seed"),
+                   prefix=tuple(data.get("prefix", ())),
+                   change_points=tuple(data.get("change_points", ())))
+
+
+class SchedulePolicy:
+    """Record-mode exploration policy: grant in a prescribed or
+    seeded-priority order (:class:`SchedulePlan`).
+
+    While the plan's prefix lasts, the arbiter *waits* for the named
+    processor's next chunk even when other processors are ready -- that
+    waiting is the whole point: it opens commit-order windows that
+    arrival order would never produce (a delayed grant lets another
+    processor's racing chunk slip in between).  After the prefix, grants
+    follow the seeded priorities, demoting the top active processor at
+    each change point; with no seed the policy degenerates to arrival
+    order.
+
+    A prescribed target that can never commit again (thread finished,
+    nothing pending) is skipped, so infeasible prefix tails -- normal
+    after a DPOR reordering perturbs the execution -- degrade gracefully
+    instead of deadlocking.  A pathological plan can still starve the
+    machine (e.g. priorities that favour a spinner over the lock
+    holder); that is an *outcome*, classified by the guard watchdog as
+    a stall, not an error in the policy.
+    """
+
+    def __init__(self, plan: SchedulePlan, num_processors: int,
+                 is_active: Callable[[int], bool]) -> None:
+        self.plan = plan
+        self.num_processors = num_processors
+        self.is_active = is_active
+        self.cursor = 0            # position in plan.prefix
+        self.grant_index = 0       # policy grants issued so far
+        self.skipped_prefix = 0    # infeasible prefix entries dropped
+        self._priorities = plan.priorities(num_processors)
+        self._changes = list(plan.change_points)
+
+    def _feasible(self, proc: int, pending: list[Chunk]) -> bool:
+        """Can ``proc`` ever produce another commit?"""
+        if proc < 0 or proc >= self.num_processors:
+            return False
+        if any(chunk.processor == proc for chunk in pending):
+            return True
+        return self.is_active(proc)
+
+    def _apply_change_points(self) -> None:
+        while self._changes and self.grant_index >= self._changes[0]:
+            self._changes.pop(0)
+            active = [proc for proc in range(self.num_processors)
+                      if self.is_active(proc)]
+            if len(active) < 2:
+                continue
+            top = max(active, key=lambda proc: self._priorities[proc])
+            self._priorities[top] = min(self._priorities.values()) - 1
+
+    def _target(self, pending: list[Chunk]) -> int | None:
+        """The processor whose chunk must commit next, or None."""
+        while self.cursor < len(self.plan.prefix):
+            proc = self.plan.prefix[self.cursor]
+            if self._feasible(proc, pending):
+                return proc
+            self.cursor += 1       # dead prescription: skip it
+            self.skipped_prefix += 1
+        if self.plan.seed is None:
+            return None            # arrival-order fallback
+        self._apply_change_points()
+        candidates = [proc for proc in range(self.num_processors)
+                      if self._feasible(proc, pending)]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda proc: self._priorities[proc])
+
+    def select(self, pending: list[Chunk], committing: list[Chunk],
+               now: float) -> Chunk | None:
+        """The prescribed processor's oldest pending chunk -- waiting
+        for it if it has not requested yet -- or arrival order when the
+        plan prescribes nothing."""
+        target = self._target(pending)
+        if target is None:
+            if self.cursor < len(self.plan.prefix):
+                return None        # waiting on the prescribed processor
+            if not pending:
+                return None
+            head = min(pending, key=arrival_key)
+            if any(ArrivalOrderPolicy._overlaps(head, other)
+                   for other in committing):
+                return None
+            return head
+        heads = [chunk for chunk in pending if chunk.processor == target]
+        if not heads:
+            return None            # target is active; wait for it
+        head = min(heads, key=arrival_key)
+        if any(ArrivalOrderPolicy._overlaps(head, other)
+               for other in committing):
+            return None            # wait, never overtake
+        return head
+
+    def on_grant(self, chunk: Chunk, now: float) -> None:
+        """Advance the prefix cursor / grant index."""
+        if (self.cursor < len(self.plan.prefix)
+                and self.plan.prefix[self.cursor] == chunk.processor):
+            self.cursor += 1
+        self.grant_index += 1
+
+    def finish(self) -> None:
+        """Nothing to verify: unconsumed prefix entries are legal
+        (the prescription outlived the execution)."""
 
 
 class RoundRobinPolicy:

@@ -65,7 +65,8 @@ class DeLoreanSystem:
     def record(self, program: Program,
                max_events: int | None = None,
                checkpoint_every: int = 0,
-               tracer=None) -> Recording:
+               tracer=None,
+               schedule=None) -> Recording:
         """Run the initial execution and capture its logs.
 
         ``checkpoint_every`` takes an interval checkpoint every N
@@ -74,7 +75,12 @@ class DeLoreanSystem:
         ``recording.interval_checkpoints`` and seed
         :meth:`replay_interval`.  ``tracer`` (an
         :class:`~repro.telemetry.tracer.EventTracer`) captures the
-        run's timeline and metrics.
+        run's timeline and metrics.  ``schedule`` (a
+        :class:`~repro.core.arbiter.SchedulePlan`) perturbs the
+        arbiter's grant order for schedule-space exploration; the
+        resulting recording replays the perturbed order like any
+        other (rejected in predefined-order modes, which have no PI
+        log to replay a forced order from).
         """
         # The machine's standard chunk size follows the mode config.
         machine_config = replace(
@@ -88,6 +94,7 @@ class DeLoreanSystem:
             max_events=max_events,
             checkpoint_every=checkpoint_every,
             tracer=tracer,
+            schedule=schedule,
         )
 
     def replay(

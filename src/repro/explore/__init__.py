@@ -1,0 +1,53 @@
+"""Schedule-space exploration and automated race hunting.
+
+DeLorean's arbiter commit order *is* the thread schedule, and the
+substrate makes every schedule deterministic and re-recordable.  This
+subpackage turns that substrate into a schedule *enumerator*: it
+perturbs the record-phase commit-grant order through
+:class:`~repro.core.arbiter.SchedulePlan` plug-ins, classifies each
+explored schedule's outcome, branches DPOR-style at racing commit
+pairs instead of permuting blindly, and shrinks any failing schedule
+to a minimal grant-order delta whose recording loads straight into
+``repro debug``.
+
+Layers:
+
+* :mod:`repro.explore.plans` -- deterministic PCT-style plan streams.
+* :mod:`repro.explore.frontier` -- the dependence-aware DPOR frontier.
+* :mod:`repro.explore.driver` -- the campaign driver and the pooled
+  per-schedule worker (:func:`~repro.explore.driver.execute_explore_spec`).
+* :mod:`repro.explore.bisect` -- the failing-schedule minimizer.
+* :mod:`repro.explore.report` -- JSONL campaign reports.
+"""
+
+from repro.explore.bisect import MinimalRepro, minimize_schedule
+from repro.explore.driver import (
+    ScheduleOutcome,
+    execute_explore_spec,
+    run_exploration,
+)
+from repro.explore.frontier import Frontier, RacingPair, racing_pairs
+from repro.explore.plans import pct_plan, pct_plans
+from repro.explore.report import (
+    EXPLORE_OUTCOMES,
+    ExploreReport,
+    ScheduleResult,
+    read_explore_report,
+)
+
+__all__ = [
+    "EXPLORE_OUTCOMES",
+    "ExploreReport",
+    "Frontier",
+    "MinimalRepro",
+    "RacingPair",
+    "ScheduleOutcome",
+    "ScheduleResult",
+    "execute_explore_spec",
+    "minimize_schedule",
+    "pct_plan",
+    "pct_plans",
+    "racing_pairs",
+    "read_explore_report",
+    "run_exploration",
+]

@@ -1,0 +1,165 @@
+"""The dependence-aware exploration frontier (DPOR-style).
+
+Blind permutation of commit grants wastes almost every run: two
+chunks that touch disjoint lines commute, so reordering them yields
+the same execution.  Dynamic partial-order reduction branches only
+where it matters -- at *racing* commit pairs -- and this frontier is
+the recorded-substrate version of that idea: given one explored
+schedule's per-commit access sets (captured at each chunk's
+linearization point), it finds cross-processor conflicting pairs with
+the same Bloom-signature test the commit arbiter itself uses
+(:mod:`repro.chunks.signature`), and for each pair emits the
+grant-order prefix that replays the schedule up to the pair and then
+reverses it.
+
+Plans are deduplicated by their wire form, so re-discovering the same
+branch from different schedules costs nothing, and the frontier never
+re-offers a plan the campaign has already run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.chunks.signature import Signature, SignatureConfig
+from repro.core.arbiter import SchedulePlan
+
+#: Per-schedule cap on newly generated branches (a heavily racy run
+#: can produce O(n^2) pairs; the closest ones matter most).
+DEFAULT_BRANCH_LIMIT = 32
+
+
+@dataclass(frozen=True)
+class RacingPair:
+    """Two cross-processor commits whose signatures conflict."""
+
+    first_index: int
+    second_index: int
+    first_proc: int
+    second_proc: int
+    kind: str  # "w-w", "w-r" or "r-w" (first's access vs second's)
+
+
+def _signature(lines, config: SignatureConfig) -> Signature:
+    signature = Signature(config)
+    for line in lines:
+        signature.insert(line)
+    return signature
+
+
+def racing_pairs(accesses, config: SignatureConfig | None = None,
+                 limit: int | None = None) -> list[RacingPair]:
+    """Conflicting cross-processor commit pairs, nearest first.
+
+    ``accesses`` is one schedule's commit log: a sequence of
+    ``(processor, read_lines, write_lines)`` triples in global commit
+    order.  The conflict test is the hardware one -- Bloom signature
+    intersection -- so (like the real arbiter) it may flag a false
+    pair from aliasing, which costs one redundant schedule and nothing
+    else.  Pairs are sorted by commit distance: adjacent racing
+    commits are the timing-sensitive ones.
+    """
+    config = config or SignatureConfig()
+    signatures = [
+        (proc,
+         _signature(reads, config),
+         _signature(writes, config))
+        for proc, reads, writes in accesses
+    ]
+    pairs: list[RacingPair] = []
+    for j, (proc_j, reads_j, writes_j) in enumerate(signatures):
+        for i in range(j):
+            proc_i, reads_i, writes_i = signatures[i]
+            if proc_i == proc_j:
+                continue
+            if writes_i.intersects(writes_j):
+                kind = "w-w"
+            elif writes_i.intersects(reads_j):
+                kind = "w-r"
+            elif reads_i.intersects(writes_j):
+                kind = "r-w"
+            else:
+                continue
+            pairs.append(RacingPair(
+                first_index=i, second_index=j,
+                first_proc=proc_i, second_proc=proc_j, kind=kind))
+    pairs.sort(key=lambda pair: (
+        pair.second_index - pair.first_index,
+        pair.first_index))
+    if limit is not None:
+        pairs = pairs[:max(0, limit)]
+    return pairs
+
+
+def branch_prefix(grant_order, pair: RacingPair) -> tuple[int, ...]:
+    """The grant prescription that reverses one racing pair.
+
+    Replay the observed grants up to (not including) the pair's first
+    commit, then grant every commit the *second* processor made in the
+    racing window before the first processor runs again.  The tail is
+    left free (arrival order), so the execution can diverge naturally
+    once the race has been flipped.
+    """
+    i, j = pair.first_index, pair.second_index
+    return tuple(grant_order[:i]) + tuple(
+        proc for proc in grant_order[i:j + 1]
+        if proc == pair.second_proc)
+
+
+class Frontier:
+    """Deduplicated queue of schedule plans still worth running."""
+
+    def __init__(self, config: SignatureConfig | None = None,
+                 branch_limit: int = DEFAULT_BRANCH_LIMIT) -> None:
+        self.config = config or SignatureConfig()
+        self.branch_limit = branch_limit
+        self._pending: deque[SchedulePlan] = deque()
+        self._seen: set[tuple] = set()
+        self.branches_generated = 0
+        self.branches_deduplicated = 0
+
+    def _key(self, plan: SchedulePlan) -> tuple:
+        return (plan.seed, plan.prefix, plan.change_points)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def offer(self, plan: SchedulePlan) -> bool:
+        """Queue a plan unless an identical one was ever offered."""
+        key = self._key(plan)
+        if key in self._seen:
+            self.branches_deduplicated += 1
+            return False
+        self._seen.add(key)
+        self._pending.append(plan)
+        return True
+
+    def mark_seen(self, plan: SchedulePlan) -> bool:
+        """Record an externally-run plan (e.g. a PCT trial) so the
+        frontier never re-emits it; returns False when the plan was
+        already seen (the caller should skip it)."""
+        key = self._key(plan)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        return True
+
+    def pop(self) -> SchedulePlan | None:
+        """The next queued plan, oldest first."""
+        return self._pending.popleft() if self._pending else None
+
+    def expand(self, grant_order, accesses) -> int:
+        """Mine one explored schedule for new branch points.
+
+        Returns the number of *new* plans queued.  ``grant_order`` and
+        ``accesses`` come from the schedule's explore artifact.
+        """
+        added = 0
+        for pair in racing_pairs(accesses, self.config,
+                                 limit=self.branch_limit):
+            prefix = branch_prefix(grant_order, pair)
+            self.branches_generated += 1
+            if self.offer(SchedulePlan(prefix=prefix)):
+                added += 1
+        return added

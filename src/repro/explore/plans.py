@@ -1,0 +1,48 @@
+"""Deterministic PCT-style schedule-plan streams.
+
+PCT (probabilistic concurrency testing) finds a depth-``d`` bug with
+probability >= 1/(n * k^(d-1)) by running the program under random
+thread priorities with ``d-1`` priority change points.  Here the
+"threads" are the arbiter's grant candidates and the "steps" its
+commit grants, so one :class:`~repro.core.arbiter.SchedulePlan` -- a
+priority seed plus change-point grant indices -- is exactly one PCT
+trial, and the whole stream is a pure function of the campaign seed:
+re-running a campaign explores byte-identical schedules, and every
+trial is independently re-recordable from its plan alone.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.arbiter import SchedulePlan
+
+#: Multiplier folding the trial index into the campaign seed (a large
+#: odd constant: consecutive trials get unrelated priority
+#: permutations without colliding for any realistic campaign size).
+_TRIAL_STRIDE = 1_000_003
+
+
+def pct_plan(campaign_seed: int, trial: int, depth: int,
+             change_points: int = 2) -> SchedulePlan:
+    """The ``trial``-th PCT schedule plan of a campaign.
+
+    ``depth`` is the schedule length estimate (the baseline run's
+    grant count): change points are drawn uniformly from the grant
+    indices ``1..depth-1``.  ``change_points`` is PCT's d-1 (bug depth
+    minus one).  Everything derives from ``(campaign_seed, trial)``,
+    nothing from global state.
+    """
+    trial_seed = campaign_seed * _TRIAL_STRIDE + trial
+    rng = random.Random(trial_seed)
+    population = range(1, max(2, depth))
+    count = min(max(0, change_points), len(population))
+    points = tuple(sorted(rng.sample(population, count)))
+    return SchedulePlan(seed=trial_seed, change_points=points)
+
+
+def pct_plans(campaign_seed: int, count: int, depth: int,
+              change_points: int = 2) -> list[SchedulePlan]:
+    """The first ``count`` trials of a campaign's PCT stream."""
+    return [pct_plan(campaign_seed, trial, depth, change_points)
+            for trial in range(count)]

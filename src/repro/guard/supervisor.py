@@ -50,7 +50,11 @@ from repro.guard.degrade import (
 from repro.guard.journal import RecordingJournal, partial_recording
 from repro.guard.limits import BudgetMeter, Budgets
 from repro.guard.watchdog import Watchdog, WatchdogConfig
-from repro.machine.system import ChunkMachine, build_replay_machine
+from repro.machine.system import (
+    ChunkMachine,
+    build_replay_machine,
+    finish_recording,
+)
 from repro.machine.timing import MachineConfig
 from repro.telemetry.tracer import NULL_TRACER
 
@@ -143,15 +147,18 @@ class _GuardObserver:
     """Machine observer feeding the watchdog and the budget meter."""
 
     def __init__(self, machine, watchdog: Watchdog,
-                 meter: BudgetMeter) -> None:
+                 meter: BudgetMeter, commit_hook=None) -> None:
         self.machine = machine
         self.watchdog = watchdog
         self.meter = meter
         self.boundary_dirty = False
+        self.commit_hook = commit_hook
 
     def on_commit(self, chunk, fingerprint, count) -> None:
         self.watchdog.note_commit(count)
         self.boundary_dirty = True
+        if self.commit_hook is not None:
+            self.commit_hook(chunk, count)
 
     def on_dma(self, writes, fingerprint, count) -> None:
         self.watchdog.note_commit(count)
@@ -222,35 +229,6 @@ def _pump(machine, watchdog: Watchdog, meter: BudgetMeter,
     return machine._collect()
 
 
-def _finish_recording(machine, result) -> Recording:
-    """Assemble the completed segment's Recording (the same way
-    :func:`~repro.machine.system.record_execution` does)."""
-    recorder = machine.recorder
-    recorder.finish()
-    strata = []
-    if recorder.stratifier is not None:
-        strata = [s.counts for s in recorder.stratifier.strata]
-    return Recording(
-        mode_config=machine.mode_config,
-        machine_config=machine.config,
-        program=machine.program,
-        pi_log=recorder.pi_log,
-        cs_logs=recorder.cs_logs,
-        interrupt_logs=recorder.interrupt_logs,
-        io_logs=recorder.io_logs,
-        dma_log=recorder.dma_log,
-        strata=strata,
-        stratified=machine.mode_config.stratify,
-        fingerprints=result.fingerprints,
-        per_proc_fingerprints=result.per_proc_fingerprints,
-        final_memory=result.final_memory,
-        final_thread_keys=result.final_thread_keys,
-        stats=result.stats,
-        memory_ordering=recorder.memory_ordering_log(),
-        interval_checkpoints=machine.interval_checkpoints,
-    )
-
-
 def _quiescent(machine) -> bool:
     return (not machine.arbiter.committing
             and not machine.arbiter.has_reservation)
@@ -307,6 +285,8 @@ def supervise_record(
     checkpoint_every: int = 0,
     max_events: int | None = None,
     tracer=None,
+    schedule=None,
+    commit_hook=None,
 ) -> SupervisionReport:
     """Record ``program`` under full supervision.
 
@@ -315,6 +295,14 @@ def supervise_record(
     verification divergence with ``verify_segments``) the session
     degrades up the mode ladder instead of failing, producing a
     :class:`~repro.guard.degrade.SegmentedRecording`.
+
+    ``schedule`` (a :class:`~repro.core.arbiter.SchedulePlan`) perturbs
+    the first segment's arbiter grant order for schedule-space
+    exploration; a degraded continuation segment records naturally
+    (the explorer runs with ``degrade=False``).  ``commit_hook`` --
+    ``hook(chunk, count)`` -- fires at every chunk's linearization
+    point, letting the explorer capture exact read/write line sets
+    without displacing the guard observer.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     metrics = tracer.metrics
@@ -361,7 +349,8 @@ def supervise_record(
                 program, seg_machine_config, current_config,
                 stochastic_overflow_rate=stochastic_overflow_rate,
                 checkpoint_every=checkpoint_every,
-                tracer=tracer)
+                tracer=tracer,
+                schedule=schedule)
             seg_checkpoint = None
         else:
             machine, _ = build_segment_record_machine(
@@ -376,7 +365,8 @@ def supervise_record(
         watchdog = Watchdog(machine, watchdog_config)
         meter = BudgetMeter(budgets)
         meter.start()
-        machine.observer = _GuardObserver(machine, watchdog, meter)
+        machine.observer = _GuardObserver(machine, watchdog, meter,
+                                          commit_hook=commit_hook)
         journal = None
         if journal_path is not None:
             seg_path = (journal_path if not segments
@@ -449,7 +439,7 @@ def supervise_record(
         # Clean completion of this (possibly final) segment.
         total_wall += meter.elapsed
         total_events += machine.engine.events_processed
-        recording = _finish_recording(machine, result)
+        recording = finish_recording(machine, result)
         journal_info = _close_journal(journal, machine)
 
         if verify_segments:

@@ -38,6 +38,8 @@ from repro.core.arbiter import (
     CommitArbiter,
     PIReplayPolicy,
     RoundRobinPolicy,
+    SchedulePlan,
+    SchedulePolicy,
     StrataReplayPolicy,
 )
 from repro.core.interval import IntervalCheckpoint, IntervalCheckpointStore
@@ -123,6 +125,7 @@ class ChunkMachine:
         start_checkpoint: IntervalCheckpoint | None = None,
         stop_after_commits: int = 0,
         tracer: Tracer | None = None,
+        schedule: SchedulePlan | None = None,
     ) -> None:
         if program.num_threads > machine_config.num_processors:
             raise ConfigurationError(
@@ -136,6 +139,20 @@ class ChunkMachine:
         self.perturbation = perturbation
         self.use_strata = use_strata
         self.stochastic_overflow_rate = stochastic_overflow_rate
+        if schedule is not None and schedule.is_natural:
+            schedule = None
+        if schedule is not None:
+            if self.is_replay:
+                raise ConfigurationError(
+                    "schedule plans perturb the *record* arbiter; "
+                    "replay follows the recorded order")
+            if mode_config.mode.predefined_order:
+                raise ConfigurationError(
+                    f"mode {mode_config.mode.name} commits in a "
+                    "predefined order with no PI log, so a forced "
+                    "schedule could not be replayed; explore "
+                    "predefined-order modes on their natural schedule")
+        self.schedule = schedule
         self.tracer = tracer if tracer is not None else NULL_TRACER
         metrics = self.tracer.metrics
         self._m_commits = metrics.counter("chunks_committed")
@@ -241,6 +258,12 @@ class ChunkMachine:
                     is_active=self._proc_active,
                     hop_cycles=self.config.token_hop_cycles,
                     wakeup=token_wakeup,
+                )
+            elif self.schedule is not None:
+                policy = SchedulePolicy(
+                    self.schedule,
+                    self.config.num_processors,
+                    is_active=self._proc_active,
                 )
             else:
                 policy = ArrivalOrderPolicy()
@@ -1083,38 +1106,29 @@ class ChunkMachine:
 # ----------------------------------------------------------------------
 
 
-def record_execution(
-    program: Program,
-    machine_config: MachineConfig,
-    mode_config: ModeConfig,
-    stochastic_overflow_rate: float = 0.0,
-    max_events: int | None = None,
-    checkpoint_every: int = 0,
-    tracer: Tracer | None = None,
-) -> Recording:
-    """Run the initial execution and produce its Recording."""
-    machine = ChunkMachine(
-        program, machine_config, mode_config,
-        stochastic_overflow_rate=stochastic_overflow_rate,
-        checkpoint_every=checkpoint_every,
-        tracer=tracer)
-    result = machine.run(max_events)
+def finish_recording(machine: ChunkMachine, result: RunResult) -> Recording:
+    """Seal a finished record-mode machine's logs into a Recording.
+
+    Shared by :func:`record_execution`, the guard supervisor (which
+    pumps the machine itself to interleave watchdog checks) and the
+    exploration driver (which observes commits while pumping).
+    """
     recorder = machine.recorder
     recorder.finish()
     strata = []
     if recorder.stratifier is not None:
         strata = [s.counts for s in recorder.stratifier.strata]
     return Recording(
-        mode_config=mode_config,
-        machine_config=machine_config,
-        program=program,
+        mode_config=machine.mode_config,
+        machine_config=machine.config,
+        program=machine.program,
         pi_log=recorder.pi_log,
         cs_logs=recorder.cs_logs,
         interrupt_logs=recorder.interrupt_logs,
         io_logs=recorder.io_logs,
         dma_log=recorder.dma_log,
         strata=strata,
-        stratified=mode_config.stratify,
+        stratified=machine.mode_config.stratify,
         fingerprints=result.fingerprints,
         per_proc_fingerprints=result.per_proc_fingerprints,
         final_memory=result.final_memory,
@@ -1123,6 +1137,27 @@ def record_execution(
         memory_ordering=recorder.memory_ordering_log(),
         interval_checkpoints=machine.interval_checkpoints,
     )
+
+
+def record_execution(
+    program: Program,
+    machine_config: MachineConfig,
+    mode_config: ModeConfig,
+    stochastic_overflow_rate: float = 0.0,
+    max_events: int | None = None,
+    checkpoint_every: int = 0,
+    tracer: Tracer | None = None,
+    schedule: SchedulePlan | None = None,
+) -> Recording:
+    """Run the initial execution and produce its Recording."""
+    machine = ChunkMachine(
+        program, machine_config, mode_config,
+        stochastic_overflow_rate=stochastic_overflow_rate,
+        checkpoint_every=checkpoint_every,
+        tracer=tracer,
+        schedule=schedule)
+    result = machine.run(max_events)
+    return finish_recording(machine, result)
 
 
 def build_replay_machine(

@@ -16,6 +16,12 @@ The experiment-execution engine behind ``python -m repro bench`` and
   batches (:mod:`repro.runner.figures`).
 """
 
+from repro.runner.baseline import (
+    collect_baseline,
+    compare_baselines,
+    load_baseline,
+    write_baseline,
+)
 from repro.runner.cache import ResultCache, source_tree_salt
 from repro.runner.jobs import (
     execute_spec,
@@ -48,7 +54,11 @@ __all__ = [
     "RunnerError",
     "RunnerMetrics",
     "RunSpec",
+    "collect_baseline",
+    "compare_baselines",
     "execute_spec",
+    "load_baseline",
+    "write_baseline",
     "recording_from_artifact",
     "result_from_artifact",
     "source_tree_salt",

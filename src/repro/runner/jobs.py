@@ -61,6 +61,10 @@ class JobTimeout(Exception):
 
 
 def _program_for(spec: RunSpec):
+    if spec.app.startswith("zoo:"):
+        from repro.workloads.bugzoo import zoo_specimen
+
+        return zoo_specimen(spec.app[len("zoo:"):]).build()
     if spec.app in COMMERCIAL_APPS:
         return commercial_program(spec.app, scale=spec.scale,
                                   seed=spec.seed,
@@ -168,10 +172,19 @@ def _run_consistency(spec: RunSpec, cache=None) -> dict:
     return artifact
 
 
+def _run_explore(spec: RunSpec, cache=None) -> dict:
+    # Lazy: repro.explore sits above the runner layer; importing it
+    # here (only when an explore spec is executed) avoids the cycle.
+    from repro.explore.driver import execute_explore_spec
+
+    return execute_explore_spec(spec, cache)
+
+
 _RUNNERS = {
     "record": _run_record,
     "replay": _run_replay,
     "consistency": _run_consistency,
+    "explore": _run_explore,
 }
 
 

@@ -34,7 +34,7 @@ from repro.machine.timing import MachineConfig
 #: must invalidate every cached result regardless of spec equality.
 SPEC_SCHEMA_VERSION = 1
 
-_KINDS = ("record", "replay", "consistency")
+_KINDS = ("record", "replay", "consistency", "explore")
 
 
 def _canon(value):
@@ -56,9 +56,18 @@ class RunSpec:
 
     ``kind`` selects the job: ``record`` (DeLorean initial execution),
     ``replay`` (perturbed deterministic replay of the corresponding
-    record spec) or ``consistency`` (conventional interleaved run).
+    record spec), ``consistency`` (conventional interleaved run) or
+    ``explore`` (one schedule-perturbed supervised record, the
+    schedule explorer's unit of work).
     ``machine_overrides`` is a sorted tuple of ``(field, value)`` pairs
     applied on top of the Table 5 :class:`MachineConfig` defaults.
+
+    The ``schedule_*`` fields are the explicit schedule identity of an
+    ``explore`` run (the :class:`~repro.core.arbiter.SchedulePlan` wire
+    form).  They participate in :meth:`canonical` like every other
+    field, so each explored schedule is content-addressable: the same
+    (workload, machine, plan) triple hashes identically on every
+    platform and its outcome caches soundly.
     """
 
     kind: str
@@ -71,6 +80,9 @@ class RunSpec:
     use_strata: bool = False    # replay from the stratified PI log
     perturb_seed: int | None = None   # None = noise-free replay
     collect_trace: bool = False       # consistency: keep access trace
+    schedule_seed: int | None = None  # explore: PCT priority seed
+    schedule_prefix: tuple = ()       # explore: prescribed grant order
+    schedule_change_points: tuple = ()  # explore: PCT demotion points
     machine_overrides: tuple = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -78,13 +90,18 @@ class RunSpec:
             raise ConfigurationError(
                 f"unknown run kind {self.kind!r} (expected one of "
                 f"{', '.join(_KINDS)})")
-        if self.kind in ("record", "replay") and not self.mode:
+        if self.kind in ("record", "replay", "explore") and not self.mode:
             raise ConfigurationError(f"{self.kind} specs need a mode")
         if self.kind == "consistency" and not self.model:
             raise ConfigurationError("consistency specs need a model")
         object.__setattr__(self, "machine_overrides",
                            tuple(sorted(tuple(pair) for pair in
                                         self.machine_overrides)))
+        object.__setattr__(self, "schedule_prefix",
+                           tuple(int(p) for p in self.schedule_prefix))
+        object.__setattr__(
+            self, "schedule_change_points",
+            tuple(sorted(int(c) for c in self.schedule_change_points)))
 
     # -- constructors ---------------------------------------------------
 
@@ -120,6 +137,21 @@ class RunSpec:
                    machine_overrides=(("num_processors", num_threads),))
 
     @classmethod
+    def explore(cls, app: str, mode, *, schedule_seed: int | None = None,
+                prefix: tuple = (), change_points: tuple = (),
+                num_threads: int = 8, chunk_size: int = 0,
+                scale: float = 1.0, seed: int = 11) -> "RunSpec":
+        """Spec of one schedule-perturbed supervised record (the
+        explorer's unit of work; see :mod:`repro.explore`)."""
+        mode = mode.value if isinstance(mode, ExecutionMode) else mode
+        return cls(kind="explore", app=app, mode=mode,
+                   chunk_size=chunk_size, scale=scale, seed=seed,
+                   schedule_seed=schedule_seed,
+                   schedule_prefix=tuple(prefix),
+                   schedule_change_points=tuple(change_points),
+                   machine_overrides=(("num_processors", num_threads),))
+
+    @classmethod
     def consistency(cls, app: str, model, *, num_threads: int = 8,
                     collect_trace: bool = False, scale: float = 1.0,
                     seed: int = 11) -> "RunSpec":
@@ -143,6 +175,18 @@ class RunSpec:
     def machine_config(self) -> MachineConfig:
         """Table 5 defaults with this spec's overrides applied."""
         return MachineConfig(**dict(self.machine_overrides))
+
+    def schedule_plan(self):
+        """The resolved :class:`~repro.core.arbiter.SchedulePlan` of an
+        explore spec."""
+        from repro.core.arbiter import SchedulePlan
+
+        if self.kind != "explore":
+            raise ConfigurationError(
+                f"{self.kind} specs have no schedule plan")
+        return SchedulePlan(seed=self.schedule_seed,
+                            prefix=self.schedule_prefix,
+                            change_points=self.schedule_change_points)
 
     @property
     def num_threads(self) -> int:
@@ -193,6 +237,13 @@ class RunSpec:
             extras.append(f"chunk={self.chunk_size}")
         if self.use_strata:
             extras.append("strata")
+        if self.kind == "explore":
+            if self.schedule_seed is not None:
+                extras.append(f"sched={self.schedule_seed}")
+            if self.schedule_prefix:
+                extras.append(f"prefix={len(self.schedule_prefix)}")
+            if self.schedule_change_points:
+                extras.append(f"cp={len(self.schedule_change_points)}")
         if self.num_threads != 8:
             extras.append(f"p={self.num_threads}")
         suffix = f" [{' '.join(extras)}]" if extras else ""

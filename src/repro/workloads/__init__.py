@@ -26,8 +26,18 @@ from repro.workloads.commercial import (
     commercial_program,
     commercial_spec,
 )
+from repro.workloads.bugzoo import (
+    BUG_ZOO,
+    InvariantVerdict,
+    ZooSpecimen,
+    zoo_specimen,
+)
 
 __all__ = [
+    "BUG_ZOO",
+    "InvariantVerdict",
+    "ZooSpecimen",
+    "zoo_specimen",
     "ProgramBuilder",
     "SyntheticSpec",
     "build_program",

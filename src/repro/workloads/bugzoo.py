@@ -1,0 +1,280 @@
+"""The seeded-bug zoo: schedule-dependent failures the explorer must crack.
+
+Each specimen is a small concurrent program with a *latent*
+concurrency bug plus a machine-checkable invariant over final memory.
+"Latent" is load-bearing: the natural arrival-order schedule passes,
+so a recorder that only ever observes one interleaving never sees the
+bug -- the schedule-space explorer (:mod:`repro.explore`) has to
+perturb the commit-grant order to expose it.
+
+The specimens exploit the substrate's chunk semantics precisely:
+
+* A load and the store derived from it placed in *one* chunk are
+  atomic by construction (chunks are all-or-nothing), modeling a
+  correctly locked critical section.
+* A ``SPECIAL`` op deterministically truncates the chunk, so splitting
+  a read-modify-write across a special() models the classic bug where
+  a value escapes its critical section: the loaded value rides the
+  accumulator across the chunk boundary, and a racing commit landing
+  in the window is silently lost (the second chunk only *writes* the
+  contended line, so directory invalidations never squash it).
+* All threads have equal prelude chunk *counts* but unequal
+  *durations*: arrival order serializes the updates (pass), while
+  PicoLog's round-robin token alternates commits chunk-by-chunk and
+  walks straight into the window (fail) -- so predefined-order modes
+  detect the zoo on their natural schedule, and the order modes leave
+  a genuine exploration problem.
+
+Invariants are pure functions of final memory.  Updates go through
+:func:`~repro.machine.program.compute_mix`, whose affine composition
+makes ``n`` serialized updates of ``k`` instructions equal *one*
+update of ``n*k`` -- so the expected final value is order-independent
+across all correct schedules, and any lost update falls off the orbit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.machine.program import Program, compute_mix
+from repro.workloads.program_builder import ProgramBuilder, shared_address
+
+#: The contended word every updater specimen races on.
+ZOO_TARGET = shared_address(0)
+#: Its initial value (arbitrary, non-zero so stale zeros are visible).
+ZOO_INITIAL = 0x1234_5678
+
+#: Producer/consumer cells for the order-violation specimen
+#: (one cache line apart: conflicts stay per-variable).
+ZOO_DATA = shared_address(8)
+ZOO_FLAG = shared_address(16)
+#: Where the consumer publishes what it observed.
+ZOO_OBS_FLAG = shared_address(24)
+ZOO_OBS_DATA = shared_address(32)
+
+#: ALU instructions per update (the compute_mix orbit step).
+ZOO_MIX = 7
+#: The payload the producer publishes.
+ZOO_PAYLOAD = 42
+
+#: Prelude shape.  Equal chunk *counts* with unequal *durations*: the
+#: fast thread is commit-cadence-bound (arbitration + propagation,
+#: hundreds of cycles per chunk), the slow one execution-bound, so its
+#: racy window opens only after the fast thread has fully committed --
+#: the natural schedule passes.  The slow chunk stays under PicoLog's
+#: 1000-instruction standard chunk so the counts stay equal in every
+#: mode (an implicit overflow split would misalign the token slots).
+ZOO_PRELUDES = 6
+ZOO_FAST = 40
+ZOO_SLOW = 900
+
+
+@dataclass(frozen=True)
+class InvariantVerdict:
+    """Outcome of checking a specimen's invariant on final memory."""
+
+    ok: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class ZooSpecimen:
+    """One seeded bug: a program builder plus its invariant."""
+
+    name: str
+    description: str
+    #: True when some schedule violates the invariant (the explorer
+    #: must find one); False for the clean control (any violation is
+    #: a false positive).
+    buggy: bool
+    build: Callable[[], Program]
+    check: Callable[[dict[int, int]], InvariantVerdict]
+
+
+def _orbit_check(final_memory: dict[int, int],
+                 updates: int) -> InvariantVerdict:
+    """``updates`` serialized compute_mix(., ZOO_MIX) steps compose to
+    one compute_mix(., updates * ZOO_MIX) step; a lost update lands on
+    an earlier orbit point."""
+    expected = compute_mix(ZOO_INITIAL, updates * ZOO_MIX)
+    actual = final_memory.get(ZOO_TARGET, ZOO_INITIAL)
+    if actual == expected:
+        return InvariantVerdict(True, f"target on orbit point {updates}")
+    for lost in range(updates):
+        if actual == compute_mix(ZOO_INITIAL, lost * ZOO_MIX):
+            return InvariantVerdict(
+                False,
+                f"lost update: target at orbit point {lost}, "
+                f"expected {updates}")
+    return InvariantVerdict(
+        False, f"target 0x{actual:x} off the update orbit entirely")
+
+
+def _prelude(t, instructions: int) -> None:
+    """ZOO_PRELUDES compute-only chunks of the given duration."""
+    for _ in range(ZOO_PRELUDES):
+        t.compute(instructions)
+        t.special()
+
+
+def _split_update(t, prelude: int) -> None:
+    """A buggy read-modify-write: the load's value escapes its chunk
+    (the special() models dropping the lock mid-update)."""
+    _prelude(t, prelude)
+    t.load(ZOO_TARGET)
+    t.special()                      # <- the atomicity hole
+    t.compute(ZOO_MIX)
+    t.store(ZOO_TARGET)
+
+
+def _atomic_update(t, prelude: int) -> None:
+    """A correct read-modify-write: one chunk, atomic by construction."""
+    _prelude(t, prelude)
+    t.load(ZOO_TARGET)
+    t.compute(ZOO_MIX)
+    t.store(ZOO_TARGET)
+
+
+def lost_update_program() -> Program:
+    """Both threads split their update across the chunk break."""
+    builder = ProgramBuilder(num_threads=2, name="zoo-lost-update")
+    builder.set_memory(ZOO_TARGET, ZOO_INITIAL)
+    with builder.thread(0) as t:
+        _split_update(t, prelude=ZOO_FAST)   # finishes first naturally
+    with builder.thread(1) as t:
+        _split_update(t, prelude=ZOO_SLOW)   # same chunk count, slower
+    return builder.build()
+
+
+def lost_update_check(final_memory: dict[int, int]) -> InvariantVerdict:
+    return _orbit_check(final_memory, updates=2)
+
+
+def atomicity_violation_program() -> Program:
+    """Thread 0 is buggy (split update), thread 1 is correct (atomic
+    single-chunk update).  The bug fires only when thread 1's commit
+    lands inside thread 0's window."""
+    builder = ProgramBuilder(num_threads=2, name="zoo-atomicity")
+    builder.set_memory(ZOO_TARGET, ZOO_INITIAL)
+    with builder.thread(0) as t:
+        _split_update(t, prelude=ZOO_FAST)
+    with builder.thread(1) as t:
+        _atomic_update(t, prelude=ZOO_SLOW)
+    return builder.build()
+
+
+def atomicity_violation_check(
+        final_memory: dict[int, int]) -> InvariantVerdict:
+    return _orbit_check(final_memory, updates=2)
+
+
+def order_violation_program() -> Program:
+    """The producer publishes FLAG *before* DATA (the bug); the
+    consumer checks FLAG then reads DATA.  A filler chunk between the
+    producer's two stores is the window a perturbed schedule can drop
+    the consumer into."""
+    builder = ProgramBuilder(num_threads=2, name="zoo-order")
+    builder.set_memory(ZOO_DATA, 0)
+    builder.set_memory(ZOO_FLAG, 0)
+    builder.set_memory(ZOO_OBS_FLAG, 0)
+    builder.set_memory(ZOO_OBS_DATA, 0)
+    with builder.thread(0) as t:         # producer (fast)
+        _prelude(t, ZOO_FAST)
+        t.store(ZOO_FLAG, value=1)       # bug: flag first ...
+        t.special()
+        t.compute(ZOO_FAST)              # ... then a gap ...
+        t.special()
+        t.store(ZOO_DATA, value=ZOO_PAYLOAD)   # ... then the data
+    with builder.thread(1) as t:         # consumer (slow prelude)
+        _prelude(t, ZOO_SLOW)
+        t.load(ZOO_FLAG)
+        t.store(ZOO_OBS_FLAG)
+        t.special()
+        t.load(ZOO_DATA)
+        t.store(ZOO_OBS_DATA)
+    return builder.build()
+
+
+def order_violation_check(
+        final_memory: dict[int, int]) -> InvariantVerdict:
+    obs_flag = final_memory.get(ZOO_OBS_FLAG, 0)
+    obs_data = final_memory.get(ZOO_OBS_DATA, 0)
+    if obs_flag != 1:
+        return InvariantVerdict(True, "consumer never saw the flag")
+    if obs_data == ZOO_PAYLOAD:
+        return InvariantVerdict(True, "flag implied data")
+    return InvariantVerdict(
+        False,
+        f"order violation: consumer saw flag=1 but data={obs_data} "
+        f"(expected {ZOO_PAYLOAD})")
+
+
+def clean_rmw_program() -> Program:
+    """The control: every update is an atomic fetch-add, so *no*
+    schedule can break the invariant.  Same prelude/chunk shape as the
+    buggy specimens, so the explorer has an equally rich schedule
+    space to (correctly) find nothing in."""
+    builder = ProgramBuilder(num_threads=2, name="zoo-clean-rmw")
+    builder.set_memory(ZOO_TARGET, 0)
+    for thread, prelude in enumerate((ZOO_FAST, ZOO_SLOW)):
+        with builder.thread(thread) as t:
+            for _ in range(3):
+                t.compute(prelude)
+                t.special()
+                t.rmw(ZOO_TARGET, delta=1)
+                t.special()
+    return builder.build()
+
+
+def clean_rmw_check(final_memory: dict[int, int]) -> InvariantVerdict:
+    actual = final_memory.get(ZOO_TARGET, 0)
+    if actual == 6:
+        return InvariantVerdict(True, "all increments landed")
+    return InvariantVerdict(
+        False, f"counter is {actual}, expected 6")
+
+
+#: name -> specimen.  The explorer's acceptance gate iterates this.
+BUG_ZOO: dict[str, ZooSpecimen] = {
+    spec.name: spec for spec in (
+        ZooSpecimen(
+            name="lost-update",
+            description="two split read-modify-writes race on one word",
+            buggy=True,
+            build=lost_update_program,
+            check=lost_update_check,
+        ),
+        ZooSpecimen(
+            name="atomicity-violation",
+            description="a split update races an atomic one",
+            buggy=True,
+            build=atomicity_violation_program,
+            check=atomicity_violation_check,
+        ),
+        ZooSpecimen(
+            name="order-violation",
+            description="flag published before its data",
+            buggy=True,
+            build=order_violation_program,
+            check=order_violation_check,
+        ),
+        ZooSpecimen(
+            name="clean-rmw",
+            description="atomic control: no schedule can fail it",
+            buggy=False,
+            build=clean_rmw_program,
+            check=clean_rmw_check,
+        ),
+    )
+}
+
+
+def zoo_specimen(name: str) -> ZooSpecimen:
+    """Look a specimen up by name (raises KeyError with the roster)."""
+    try:
+        return BUG_ZOO[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown zoo specimen {name!r}; "
+            f"have {sorted(BUG_ZOO)}") from None

@@ -1,0 +1,114 @@
+"""Tests for the bench performance baseline (BENCH_1.json)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.runner.baseline import (
+    BASELINE_MODES,
+    collect_baseline,
+    compare_baselines,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    # Tiny scale: the snapshot's *shape* is under test, not its speed.
+    return collect_baseline("fft", scale=0.05, seed=11)
+
+
+class TestCollect:
+    def test_schema_and_coverage(self, snapshot):
+        assert snapshot["kind"] == "bench-baseline"
+        assert set(snapshot["modes"]) \
+            == {mode.value for mode in BASELINE_MODES}
+        assert set(snapshot["figures"]) == {"fig10", "fig11"}
+
+    def test_per_mode_metrics(self, snapshot):
+        for metrics in snapshot["modes"].values():
+            assert metrics["record_events_per_sec"] > 0
+            assert metrics["replay_events_per_sec"] > 0
+            assert metrics["instructions"] > 0
+            assert metrics["replay_verified"]
+
+    def test_figures_ran_clean(self, snapshot):
+        for metrics in snapshot["figures"].values():
+            assert metrics["failed"] == 0
+            assert metrics["specs"] > 0
+            assert metrics["wall_seconds"] > 0
+
+    def test_render_is_json_free(self, snapshot):
+        text = render_baseline(snapshot)
+        assert "fft" in text
+        assert "fig10" in text
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, snapshot, tmp_path):
+        path = write_baseline(tmp_path / "BENCH.json", snapshot)
+        assert load_baseline(path) == snapshot
+        # and the file is plain JSON
+        assert json.loads(path.read_text())["kind"] == "bench-baseline"
+
+    def test_load_rejects_other_documents(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "explore-summary"}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestCompare:
+    def test_self_comparison_is_clean(self, snapshot):
+        assert compare_baselines(snapshot, snapshot) == []
+
+    def test_throughput_collapse_regresses(self, snapshot):
+        slow = copy.deepcopy(snapshot)
+        for metrics in slow["modes"].values():
+            metrics["record_events_per_sec"] /= 100.0
+        regressions = compare_baselines(slow, snapshot, threshold=0.1)
+        assert len(regressions) == len(snapshot["modes"])
+        assert all("record_events_per_sec" in line
+                   for line in regressions)
+
+    def test_faster_is_never_a_regression(self, snapshot):
+        fast = copy.deepcopy(snapshot)
+        for metrics in fast["modes"].values():
+            metrics["record_events_per_sec"] *= 100.0
+            metrics["replay_events_per_sec"] *= 100.0
+        for metrics in fast["figures"].values():
+            metrics["wall_seconds"] /= 100.0
+        assert compare_baselines(fast, snapshot) == []
+
+    def test_simulated_cycle_drift_regresses(self, snapshot):
+        drifted = copy.deepcopy(snapshot)
+        mode = next(iter(drifted["modes"]))
+        drifted["modes"][mode]["record_cycles"] += 1
+        regressions = compare_baselines(drifted, snapshot)
+        assert any("simulated timing changed" in line
+                   for line in regressions)
+
+    def test_lost_determinism_regresses(self, snapshot):
+        broken = copy.deepcopy(snapshot)
+        mode = next(iter(broken["modes"]))
+        broken["modes"][mode]["replay_verified"] = False
+        regressions = compare_baselines(broken, snapshot)
+        assert any("no longer verifies" in line for line in regressions)
+
+    def test_figure_blowup_regresses(self, snapshot):
+        slow = copy.deepcopy(snapshot)
+        slow["figures"]["fig10"]["wall_seconds"] *= 100.0
+        regressions = compare_baselines(slow, snapshot, threshold=0.1)
+        assert any("fig10.wall_seconds" in line for line in regressions)
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_parses(self):
+        # The committed reference CI diffs against must stay loadable.
+        data = load_baseline("BENCH_1.json")
+        assert data["schema"] == 1
+        assert set(data["modes"]) \
+            == {mode.value for mode in BASELINE_MODES}

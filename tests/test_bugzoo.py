@@ -1,0 +1,82 @@
+"""Tests for the seeded-bug zoo: latency of the bugs, not their absence."""
+
+import pytest
+
+from repro.core.modes import ExecutionMode, preferred_config
+from repro.machine.system import record_execution
+from repro.machine.timing import MachineConfig
+from repro.workloads.bugzoo import (
+    BUG_ZOO,
+    ZOO_INITIAL,
+    ZOO_MIX,
+    ZOO_TARGET,
+    zoo_specimen,
+)
+from repro.machine.program import compute_mix
+
+BUGGY = sorted(name for name, spec in BUG_ZOO.items() if spec.buggy)
+ORDER_MODES = (ExecutionMode.ORDER_AND_SIZE, ExecutionMode.ORDER_ONLY)
+PREDEFINED_MODES = (ExecutionMode.PICOLOG, ExecutionMode.SIZE_ONLY)
+
+
+def natural_verdict(name, mode):
+    specimen = zoo_specimen(name)
+    recording = record_execution(
+        specimen.build(),
+        machine_config=MachineConfig(),
+        mode_config=preferred_config(mode))
+    return specimen.check(recording.final_memory)
+
+
+class TestLatency:
+    """Buggy specimens must be *latent*: the natural arrival-order
+    schedule passes, so only exploration exposes them."""
+
+    @pytest.mark.parametrize("mode", ORDER_MODES)
+    @pytest.mark.parametrize("name", BUGGY)
+    def test_natural_schedule_passes_in_order_modes(self, name, mode):
+        verdict = natural_verdict(name, mode)
+        assert verdict.ok, verdict.detail
+
+    @pytest.mark.parametrize("mode", PREDEFINED_MODES)
+    @pytest.mark.parametrize("name", BUGGY)
+    def test_round_robin_token_exposes_the_bug(self, name, mode):
+        # PicoLog's alternating token walks straight into each racy
+        # window, so predefined-order modes detect the zoo on their
+        # one-and-only schedule.
+        verdict = natural_verdict(name, mode)
+        assert not verdict.ok
+
+    @pytest.mark.parametrize(
+        "mode", ORDER_MODES + PREDEFINED_MODES)
+    def test_clean_control_passes_everywhere(self, mode):
+        verdict = natural_verdict("clean-rmw", mode)
+        assert verdict.ok, verdict.detail
+
+
+class TestInvariants:
+    def test_orbit_check_diagnoses_a_lost_update(self):
+        check = zoo_specimen("lost-update").check
+        one_update = compute_mix(ZOO_INITIAL, ZOO_MIX)
+        verdict = check({ZOO_TARGET: one_update})
+        assert not verdict.ok
+        assert "lost update" in verdict.detail
+
+    def test_orbit_check_accepts_the_serialized_result(self):
+        check = zoo_specimen("lost-update").check
+        both = compute_mix(ZOO_INITIAL, 2 * ZOO_MIX)
+        assert check({ZOO_TARGET: both}).ok
+
+    def test_off_orbit_value_is_flagged(self):
+        verdict = zoo_specimen("lost-update").check({ZOO_TARGET: 1})
+        assert not verdict.ok
+        assert "off the update orbit" in verdict.detail
+
+    def test_unknown_specimen_raises_with_roster(self):
+        with pytest.raises(KeyError, match="lost-update"):
+            zoo_specimen("heisenbug")
+
+    def test_roster_shape(self):
+        assert set(BUG_ZOO) == {"lost-update", "atomicity-violation",
+                                "order-violation", "clean-rmw"}
+        assert not BUG_ZOO["clean-rmw"].buggy

@@ -1,0 +1,121 @@
+"""Tests for schedule plans and the SchedulePolicy arbiter plug-in."""
+
+import pytest
+
+from repro.core.arbiter import SchedulePlan
+from repro.core.modes import ExecutionMode, preferred_config
+from repro.core.serialization import save_recording
+from repro.errors import ConfigurationError
+from repro.machine.system import (
+    ChunkMachine,
+    ReplaySource,
+    record_execution,
+    replay_execution,
+)
+from repro.machine.timing import MachineConfig
+from repro.workloads.bugzoo import zoo_specimen
+
+#: A grant-order prescription known (from the DPOR frontier) to drop
+#: thread 1's commit into thread 0's split-update window.
+RACY_PREFIX = (0, 1, 0, 0, 1, 0, 0, 1, 0, 1, 0, 1, 1, 1)
+
+
+def record_zoo(name="lost-update", mode=ExecutionMode.ORDER_ONLY,
+               schedule=None):
+    return record_execution(
+        zoo_specimen(name).build(),
+        machine_config=MachineConfig(),
+        mode_config=preferred_config(mode),
+        schedule=schedule)
+
+
+def grant_order(recording):
+    return [fp[0] for fp in recording.fingerprints]
+
+
+class TestSchedulePlan:
+    def test_normalization(self):
+        plan = SchedulePlan(seed=3, prefix=[1, 0, 2],
+                            change_points=[9, 4])
+        assert plan.prefix == (1, 0, 2)
+        assert plan.change_points == (4, 9)
+        assert not plan.is_natural
+
+    def test_natural(self):
+        assert SchedulePlan().is_natural
+        assert not SchedulePlan(seed=0).is_natural
+        assert not SchedulePlan(prefix=(1,)).is_natural
+
+    def test_wire_round_trip(self):
+        plan = SchedulePlan(seed=42, prefix=(0, 1), change_points=(3,))
+        assert SchedulePlan.from_dict(plan.as_dict()) == plan
+
+    def test_priorities_are_a_seeded_permutation(self):
+        first = SchedulePlan(seed=7).priorities(8)
+        again = SchedulePlan(seed=7).priorities(8)
+        other = SchedulePlan(seed=8).priorities(8)
+        assert first == again
+        assert sorted(first.values()) == list(range(1, 9))
+        assert first != other
+
+
+class TestSchedulePolicyRecording:
+    def test_prefix_prescribes_grant_order(self):
+        recording = record_zoo(
+            schedule=SchedulePlan(prefix=RACY_PREFIX))
+        got = tuple(grant_order(recording)[:len(RACY_PREFIX)])
+        assert got == RACY_PREFIX
+
+    def test_same_seed_byte_identical_schedule(self):
+        plan = SchedulePlan(seed=19, change_points=(3, 7))
+        first = record_zoo(schedule=plan)
+        second = record_zoo(schedule=plan)
+        assert grant_order(first) == grant_order(second)
+        assert save_recording(first) == save_recording(second)
+
+    def test_same_seed_identical_failure(self):
+        plan = SchedulePlan(prefix=RACY_PREFIX)
+        check = zoo_specimen("lost-update").check
+        first = record_zoo(schedule=plan)
+        second = record_zoo(schedule=plan)
+        assert not check(first.final_memory).ok
+        assert first.final_memory == second.final_memory
+
+    def test_seeded_schedule_perturbs_grant_order(self):
+        natural = record_zoo()
+        seeded = record_zoo(schedule=SchedulePlan(seed=5,
+                                                  change_points=(3,)))
+        # Different commit order, same program: both complete.
+        assert len(grant_order(seeded)) == len(grant_order(natural))
+
+    @pytest.mark.parametrize("plan", [
+        SchedulePlan(prefix=RACY_PREFIX),
+        SchedulePlan(seed=5, change_points=(3, 9)),
+    ])
+    def test_explored_schedule_replays_deterministically(self, plan):
+        recording = record_zoo(schedule=plan)
+        result = replay_execution(recording)
+        assert result.determinism.matches, result.determinism.summary()
+
+
+class TestScheduleRejection:
+    def test_predefined_order_mode_rejects_plans(self):
+        with pytest.raises(ConfigurationError):
+            record_zoo(mode=ExecutionMode.PICOLOG,
+                       schedule=SchedulePlan(seed=1))
+
+    def test_replay_rejects_plans(self):
+        recording = record_zoo()
+        with pytest.raises(ConfigurationError):
+            ChunkMachine(
+                recording.program,
+                recording.machine_config,
+                recording.mode_config,
+                replay_source=ReplaySource(recording),
+                schedule=SchedulePlan(seed=1),
+            )
+
+    def test_natural_plan_is_a_no_op(self):
+        natural = record_zoo()
+        explicit = record_zoo(schedule=SchedulePlan())
+        assert save_recording(natural) == save_recording(explicit)
