@@ -1,7 +1,14 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+The ``__name__`` guard matters: the serve layer's process pools use
+the spawn/forkserver start methods, whose worker preparation imports
+the parent's main module.  Without the guard every worker would re-run
+the CLI instead of executing jobs.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

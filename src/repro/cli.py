@@ -611,6 +611,178 @@ def _cmd_chaos(args) -> int:
     return 0 if report.invariant_ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.guard.limits import Budgets
+    from repro.serve import ReproService
+    from repro.serve.http import run_server
+    from repro.telemetry.metrics import MetricsRegistry
+
+    tracer = EventTracer() if args.trace_out else None
+    cache = (ResultCache(args.cache_dir) if args.cache_dir
+             else ResultCache())
+    service = ReproService(
+        args.data_dir,
+        cache=cache,
+        executor=args.executor,
+        jobs=max(1, args.jobs),
+        capacity=args.capacity,
+        tenant_quota=args.tenant_quota,
+        budgets=Budgets(deadline_seconds=args.deadline),
+        metrics=MetricsRegistry(),
+        tracer=tracer,
+    )
+    if service.queue.recovered_jobs:
+        print(f"recovered {service.queue.recovered_jobs} job(s) from "
+              f"the journal ({service.queue.requeued_jobs} requeued, "
+              f"{service.queue.truncated_bytes} torn byte(s) "
+              f"truncated)")
+
+    def ready(server) -> None:
+        print(f"serving on http://{server.host}:{server.port}  "
+              f"(queue {args.data_dir}, cache {service.cache.root}, "
+              f"{service.backend.name} x{service.jobs})", flush=True)
+        if args.ready_file:
+            # host/port handshake for tests and scripts using --port 0
+            with open(args.ready_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{server.host} {server.port}\n")
+
+    try:
+        asyncio.run(run_server(service, args.host, args.port, ready))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if tracer is not None:
+            document = chrome_trace(tracer.events,
+                                    process_name="repro serve")
+            with open(args.trace_out, "w", encoding="utf-8") as fh:
+                json.dump(document, fh, separators=(",", ":"))
+                fh.write("\n")
+            print(f"wrote serve trace to {args.trace_out}")
+    return 0
+
+
+def _parse_job_params(pairs) -> dict:
+    """``--param key=value`` pairs; values parse as JSON when they
+    can (numbers, booleans) and stay strings otherwise."""
+    params: dict = {}
+    for item in pairs or []:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ReproError(
+                f"--param needs key=value, got {item!r}")
+        try:
+            params[key] = json.loads(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def _serve_client(args):
+    from repro.serve.client import ServeClient
+
+    return ServeClient(args.host, args.port)
+
+
+def _cmd_submit(args) -> int:
+    from repro.errors import ServeError
+    from repro.serve.model import TERMINAL_STATES
+
+    client = _serve_client(args)
+    params = _parse_job_params(args.param)
+    try:
+        job = client.submit(args.kind, params, tenant=args.tenant)
+    except ServeError as error:
+        if error.status == 429:
+            print(f"shed: {error} (retry after "
+                  f"{error.retry_after:g}s)", file=sys.stderr)
+            return 3
+        raise
+    source = " (from cache)" if job.get("from_cache") else ""
+    print(f"accepted {job['id']}: {job['kind']} -> "
+          f"{job['state']}{source}")
+    if job["state"] not in TERMINAL_STATES and args.follow:
+        for _event_id, data in client.stream(job["id"]):
+            snapshot = data["job"]
+            print(f"  {snapshot['state']}"
+                  + (f": {snapshot['error']}"
+                     if snapshot.get("error") else ""))
+        job = client.job(job["id"])
+    elif job["state"] not in TERMINAL_STATES and args.wait:
+        job = client.wait(job["id"], timeout=args.wait)
+    if job["state"] == "done":
+        print(f"artifact {job['artifact_hash']}")
+        return 0
+    if job["state"] == "failed":
+        print(f"failed: {job['error']}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    client = _serve_client(args)
+    if args.follow:
+        print("following job transitions (ctrl-c to stop)...")
+        try:
+            for event_id, data in client.stream(after=args.after):
+                job = data["job"]
+                print(f"  [{event_id}] {job['id']} "
+                      f"{job['kind']:<12} {job['state']}"
+                      + (f": {job['error']}" if job.get("error")
+                         else ""))
+        except KeyboardInterrupt:
+            pass
+        return 0
+    jobs = client.jobs(tenant=args.tenant, state=args.state)
+    if not jobs:
+        print("no jobs")
+        return 0
+    rows = []
+    for job in jobs:
+        result = (job.get("artifact_hash") or "")[:12] \
+            or (job.get("error") or "")[:32]
+        rows.append([job["id"], job["kind"], job["state"],
+                     job["tenant"],
+                     "yes" if job.get("from_cache") else "",
+                     result])
+    print(format_table(
+        ["job", "kind", "state", "tenant", "cached", "result"],
+        rows, title=f"{len(jobs)} job(s)"))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.dir) if args.dir else ResultCache()
+    action = args.cache_command
+    if action == "stats":
+        print(json.dumps(cache.stats(), indent=2, sort_keys=True))
+        return 0
+    if action == "gc":
+        max_age = (args.max_age_days * 86400.0
+                   if args.max_age_days is not None else None)
+        if args.max_bytes is None and max_age is None:
+            raise ReproError(
+                "cache gc needs --max-bytes and/or --max-age-days")
+        report = cache.gc(max_bytes=args.max_bytes,
+                          max_age_seconds=max_age,
+                          dry_run=args.dry_run)
+        print(report.summary())
+        if args.verbose:
+            for spec_hash in report.evicted_hashes:
+                print(f"  {spec_hash}")
+        return 0
+    if action in ("pin", "unpin"):
+        for spec_hash in args.hashes:
+            if action == "pin":
+                cache.pin(spec_hash)
+            else:
+                cache.unpin(spec_hash)
+        print(f"{action}ned {len(args.hashes)} artifact(s)")
+        return 0
+    raise ReproError(f"unknown cache action {action!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -895,6 +1067,115 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", help="write the JSONL campaign report "
                                      "to this file")
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run record/replay as a service: durable job queue, "
+             "HTTP submission, SSE streaming, artifact fetch")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="TCP port (0 = ephemeral; see "
+                            "--ready-file)")
+    serve.add_argument("--data-dir", default=".repro-serve",
+                       metavar="DIR",
+                       help="queue journal directory; accepted jobs "
+                            "survive any crash (default .repro-serve)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="artifact cache root (default: the "
+                            "runner's .repro-cache)")
+    serve.add_argument("-j", "--jobs", type=int, default=1,
+                       help="concurrent job workers (default 1)")
+    serve.add_argument("--executor", choices=["inline", "process"],
+                       default=None,
+                       help="execution backend (default: inline when "
+                            "--jobs 1, else a process pool)")
+    serve.add_argument("--capacity", type=int, default=64,
+                       help="max jobs in flight before submissions "
+                            "shed with 429 (default 64)")
+    serve.add_argument("--tenant-quota", type=int, default=32,
+                       help="max in-flight jobs per tenant "
+                            "(default 32)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock budget (guard "
+                            "budget wiring; unset = unlimited)")
+    serve.add_argument("--ready-file", metavar="PATH", default=None,
+                       help="write 'host port' here once listening "
+                            "(handshake for --port 0)")
+    serve.add_argument("--trace-out", metavar="TRACE.json",
+                       default=None,
+                       help="write a Perfetto timeline of the serve "
+                            "track on shutdown")
+    serve.set_defaults(func=_cmd_serve)
+
+    def add_client_options(p):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=8321)
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running repro serve")
+    submit.add_argument(
+        "kind",
+        choices=["record", "replay", "consistency", "explore",
+                 "chaos", "salvage", "bench"])
+    submit.add_argument("--param", action="append", metavar="K=V",
+                        help="job parameter (repeatable); values "
+                             "parse as JSON when possible, e.g. "
+                             "--param app=fft --param scale=0.3")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--follow", action="store_true",
+                        help="stream the job's transitions (SSE) "
+                             "until it finishes")
+    submit.add_argument("--wait", type=float, default=None,
+                        metavar="SECONDS",
+                        help="poll until terminal, up to SECONDS")
+    add_client_options(submit)
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list (or follow) jobs on a running repro serve")
+    jobs_cmd.add_argument("--tenant", default=None)
+    jobs_cmd.add_argument("--state", default=None,
+                          choices=["queued", "running", "done",
+                                   "failed"])
+    jobs_cmd.add_argument("--follow", action="store_true",
+                          help="stream every transition (SSE) instead "
+                               "of listing")
+    jobs_cmd.add_argument("--after", type=int, default=0,
+                          help="with --follow: resume after this "
+                               "event id")
+    add_client_options(jobs_cmd)
+    jobs_cmd.set_defaults(func=_cmd_jobs)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect and garbage-collect the result cache")
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command",
+                                         required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="on-disk inventory and hit/miss counters")
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict least-recently-used artifacts")
+    cache_gc.add_argument("--max-bytes", type=int, default=None,
+                          help="evict oldest artifacts until at most "
+                               "this many bytes remain")
+    cache_gc.add_argument("--max-age-days", type=float, default=None,
+                          help="evict artifacts idle longer than this")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be evicted without "
+                               "deleting")
+    cache_gc.add_argument("--verbose", action="store_true",
+                          help="list evicted artifact hashes")
+    cache_pin = cache_sub.add_parser(
+        "pin", help="exempt artifacts from gc eviction")
+    cache_pin.add_argument("hashes", nargs="+", metavar="HASH")
+    cache_unpin = cache_sub.add_parser(
+        "unpin", help="remove artifacts' eviction exemption")
+    cache_unpin.add_argument("hashes", nargs="+", metavar="HASH")
+    for p in (cache_stats, cache_gc, cache_pin, cache_unpin):
+        p.add_argument("--dir", default=None, metavar="DIR",
+                       help="cache root (default .repro-cache or "
+                            "$REPRO_CACHE_DIR)")
+    cache_cmd.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -77,6 +77,22 @@ class ReplayDivergenceError(ReproError):
         self.context = None
 
 
+class ServeError(ReproError):
+    """A serve-layer client request failed.
+
+    Raised by :class:`~repro.serve.client.ServeClient` when the server
+    answers with an error status (or cannot be reached).  ``status`` is
+    the HTTP status code (0 when no response arrived);
+    ``retry_after`` carries the server's backoff hint on a 429 shed.
+    """
+
+    def __init__(self, message: str, *, status: int = 0,
+                 retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
 class ExecutionError(ReproError):
     """A simulated program performed an illegal operation."""
 

@@ -22,7 +22,14 @@ from repro.runner.baseline import (
     load_baseline,
     write_baseline,
 )
-from repro.runner.cache import ResultCache, source_tree_salt
+from repro.runner.cache import GCReport, ResultCache, source_tree_salt
+from repro.runner.executors import (
+    BACKENDS,
+    ExecutorBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    resolve_backend,
+)
 from repro.runner.jobs import (
     execute_spec,
     recording_from_artifact,
@@ -42,11 +49,16 @@ from repro.runner.specs import RunSpec
 
 __all__ = [
     "AttemptFailure",
+    "BACKENDS",
     "ConsoleReporter",
+    "ExecutorBackend",
     "FailureRecord",
+    "GCReport",
+    "InlineBackend",
     "JSONLReporter",
     "JobOutcome",
     "NullReporter",
+    "ProcessPoolBackend",
     "Reporter",
     "ResultCache",
     "RetryPolicy",
@@ -54,6 +66,7 @@ __all__ = [
     "RunnerError",
     "RunnerMetrics",
     "RunSpec",
+    "resolve_backend",
     "collect_baseline",
     "compare_baselines",
     "execute_spec",

@@ -1,0 +1,178 @@
+"""Pluggable execution backends for the runner (and the serve layer).
+
+The runner used to be welded to ``ProcessPoolExecutor``; everything
+that wanted a different substrate -- the serial in-process baseline,
+a persistent service pool, eventually remote workers -- had to go
+around it.  :class:`ExecutorBackend` extracts the five operations the
+runner actually needs (start, submit, restart-after-crash, shutdown,
+and a parallelism flag) so the execution substrate is a constructor
+argument instead of a hard-coded class.
+
+Two backends ship today:
+
+* :class:`InlineBackend` -- ``submit`` runs the callable immediately
+  in the calling process and returns an already-completed future.
+  This is the serial baseline and the zero-dependency fallback; it
+  shares *every* code path (cache, retry, reporting, envelopes) with
+  the pooled backends.
+* :class:`ProcessPoolBackend` -- a ``ProcessPoolExecutor`` wrapper
+  that knows how to rebuild itself after a hard worker death
+  (``BrokenProcessPool``), preserving the runner's crash-recovery
+  semantics.
+
+The contract that makes backends interchangeable: a job is a pure
+function of its :class:`~repro.runner.specs.RunSpec`, so the *same
+spec must produce byte-identical artifacts on every backend* (the
+``encode_artifact`` determinism guard extends across substrates; see
+``tests/test_executors.py``).  A future remote-worker backend only has
+to honor the same five operations and the same envelope protocol.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+from repro.errors import ConfigurationError
+
+
+class ExecutorBackend:
+    """The substrate the runner submits job attempts to.
+
+    Lifecycle: ``start(width)`` before the first submit, ``submit``
+    per attempt, ``restart(width)`` if the substrate broke (a worker
+    died hard enough to poison its siblings), ``shutdown`` at the end
+    of the wave.  ``parallel`` advertises whether concurrent submits
+    can overlap in time (the runner uses the event-driven sweep loop
+    only when they can).
+    """
+
+    #: Backend name (the CLI ``--executor`` spelling).
+    name = "abstract"
+
+    #: Whether submitted attempts may execute concurrently.
+    parallel = False
+
+    def start(self, width: int) -> None:
+        """Provision capacity for up to ``width`` concurrent jobs."""
+
+    def submit(self, fn, /, *args) -> concurrent.futures.Future:
+        """Schedule ``fn(*args)``; return a future for its result."""
+        raise NotImplementedError
+
+    def restart(self, width: int) -> None:
+        """Rebuild the substrate after it broke; pending futures on
+        the old substrate are dead and must be resubmitted."""
+
+    def shutdown(self, wait: bool = True,
+                 cancel_futures: bool = False) -> None:
+        """Release the substrate's resources."""
+
+
+class InlineBackend(ExecutorBackend):
+    """Execute every submit synchronously in the calling process."""
+
+    name = "inline"
+    parallel = False
+
+    def submit(self, fn, /, *args) -> concurrent.futures.Future:
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as error:  # noqa: BLE001 -- future carries it
+            future.set_exception(error)
+        return future
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Fan submits out across a rebuildable worker-process pool.
+
+    ``mp_start_method`` selects how workers are created.  ``None``
+    keeps the platform default (``fork`` on Linux: cheapest, and what
+    batch sweeps have always used).  Long-lived *threaded* hosts --
+    the serve layer's asyncio front end -- must pass ``"spawn"``:
+    forking a process with live threads can deadlock the child on
+    locks frozen mid-operation, and a pool that forks lazily per
+    submit will do exactly that once the event loop is running.
+    """
+
+    name = "process"
+    parallel = True
+
+    def __init__(self, max_workers: int | None = None,
+                 mp_start_method: str | None = None) -> None:
+        self.max_workers = max_workers
+        self.mp_start_method = mp_start_method
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+
+    def _width(self, width: int) -> int:
+        limit = self.max_workers or width
+        return max(1, min(limit, width))
+
+    def _make_pool(self, width: int):
+        kwargs = {"max_workers": self._width(width)}
+        if self.mp_start_method is not None:
+            import multiprocessing
+
+            kwargs["mp_context"] = multiprocessing.get_context(
+                self.mp_start_method)
+        return concurrent.futures.ProcessPoolExecutor(**kwargs)
+
+    def start(self, width: int) -> None:
+        if self._pool is None:
+            self._pool = self._make_pool(width)
+
+    def submit(self, fn, /, *args) -> concurrent.futures.Future:
+        if self._pool is None:
+            self.start(width=self.max_workers or 1)
+        return self._pool.submit(fn, *args)
+
+    def restart(self, width: int) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+        self._pool = self._make_pool(width)
+
+    def shutdown(self, wait: bool = True,
+                 cancel_futures: bool = False) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait,
+                                cancel_futures=cancel_futures)
+            self._pool = None
+
+
+#: Named backend constructors (the ``--executor`` registry).
+BACKENDS = {
+    "inline": InlineBackend,
+    "process": ProcessPoolBackend,
+}
+
+
+def resolve_backend(executor, jobs: int) -> ExecutorBackend:
+    """Turn an ``executor`` option into a backend instance.
+
+    ``None`` picks the historical default: inline for a serial runner
+    (``jobs == 1``), a process pool otherwise.  A string looks up
+    :data:`BACKENDS`; an :class:`ExecutorBackend` instance passes
+    through (the caller owns its lifecycle configuration).
+    """
+    if executor is None:
+        executor = "inline" if jobs <= 1 else "process"
+    if isinstance(executor, ExecutorBackend):
+        return executor
+    try:
+        factory = BACKENDS[executor]
+    except (KeyError, TypeError):
+        raise ConfigurationError(
+            f"unknown executor backend {executor!r} (expected one of: "
+            + ", ".join(sorted(BACKENDS)) + ")") from None
+    if factory is ProcessPoolBackend:
+        return ProcessPoolBackend(max_workers=max(1, jobs))
+    return factory()
+
+
+__all__ = [
+    "BACKENDS",
+    "ExecutorBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+]

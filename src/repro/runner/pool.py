@@ -1,4 +1,4 @@
-"""The runner: fan simulation jobs out across a process pool.
+"""The runner: fan simulation jobs out across an executor backend.
 
 :class:`Runner` takes a batch of :class:`RunSpec` jobs and drives each
 to a terminal state:
@@ -11,17 +11,19 @@ to a terminal state:
 3. **Waves** -- jobs with dependencies (a replay needs its recording)
    run after their dependencies, so N replays of one recording share
    one record job through the cache instead of each recomputing it.
-4. **Execute** -- misses run on a ``ProcessPoolExecutor`` (``jobs >
-   1``) or inline (``jobs == 1``, the serial baseline -- no pool
-   overhead, same code path for cache and retry).  Each attempt runs
-   under a per-job wall-clock timeout enforced *inside* the worker
-   (SIGALRM on a unix main thread, an async-raise watchdog timer
-   elsewhere), so a hung simulation turns into a structured timeout
-   failure rather than a stuck pool.  A pool-side deadline sweep
-   backstops both: attempts still pending past
-   :func:`sweep_deadline` are abandoned and fed through the normal
-   retry path, so even a worker wedged in C code cannot stall the
-   sweep.
+4. **Execute** -- misses are submitted to a pluggable
+   :class:`~repro.runner.executors.ExecutorBackend`:
+   :class:`~repro.runner.executors.InlineBackend` (the serial
+   baseline, same code path for cache and retry) or
+   :class:`~repro.runner.executors.ProcessPoolBackend` (``jobs > 1``)
+   today, remote workers tomorrow.  Each attempt runs under a per-job
+   wall-clock timeout enforced *inside* the worker (SIGALRM on a unix
+   main thread, an async-raise watchdog timer elsewhere), so a hung
+   simulation turns into a structured timeout failure rather than a
+   stuck pool.  A pool-side deadline sweep backstops both: attempts
+   still pending past :func:`sweep_deadline` are abandoned and fed
+   through the normal retry path, so even a worker wedged in C code
+   cannot stall the sweep.
 5. **Retry** -- failed attempts (exceptions, timeouts, a crashed
    worker process) are retried with exponential backoff under a
    :class:`~repro.runner.retry.RetryPolicy`; a job that exhausts its
@@ -43,6 +45,11 @@ from dataclasses import dataclass
 from repro.errors import ReproError
 from repro.runner import jobs as jobs_module
 from repro.runner.cache import ResultCache
+from repro.runner.executors import (
+    ExecutorBackend,
+    InlineBackend,
+    resolve_backend,
+)
 from repro.runner.reporting import NullReporter, Reporter, RunnerMetrics
 from repro.runner.retry import (
     AttemptFailure,
@@ -107,6 +114,7 @@ class Runner:
         retry: RetryPolicy | None = None,
         reporter: Reporter | None = None,
         job_fn=jobs_module.execute_spec,
+        executor: str | ExecutorBackend | None = None,
     ) -> None:
         if jobs < 1:
             raise RunnerError("need at least one worker")
@@ -120,7 +128,21 @@ class Runner:
         self.retry = retry or RetryPolicy()
         self.reporter = reporter or NullReporter()
         self.job_fn = job_fn
+        # An explicitly chosen backend is always honored; the implicit
+        # default keeps the historical fast path (single-miss waves
+        # skip pool startup and run inline).
+        self._explicit_backend = executor is not None
+        self._owns_backend = not isinstance(executor, ExecutorBackend)
+        self._backend = resolve_backend(executor, jobs)
+        self._inline = (self._backend
+                        if isinstance(self._backend, InlineBackend)
+                        else InlineBackend())
         self.metrics = RunnerMetrics()
+
+    @property
+    def backend(self) -> ExecutorBackend:
+        """The execution substrate this runner submits attempts to."""
+        return self._backend
 
     # -- public API -----------------------------------------------------
 
@@ -145,8 +167,12 @@ class Runner:
         self.reporter.on_start(self.metrics.queued)
 
         outcomes: dict[str, JobOutcome] = {}
-        for wave in waves:
-            self._run_wave(wave, outcomes)
+        try:
+            for wave in waves:
+                self._run_wave(wave, outcomes)
+        finally:
+            if self._owns_backend:
+                self._backend.shutdown(wait=True, cancel_futures=True)
         self.reporter.on_finish(self.metrics)
         return [outcomes[spec.content_hash()] for spec in requested]
 
@@ -207,11 +233,17 @@ class Runner:
                 misses.append(spec)
         if not misses:
             return
-        if self.jobs == 1 or len(misses) == 1:
-            for spec in misses:
-                outcomes[spec.content_hash()] = self._run_inline(spec)
+        serial = self.jobs == 1 or len(misses) == 1
+        backend = self._backend
+        if serial and not self._explicit_backend:
+            backend = self._inline  # historical single-job fast path
+        if backend.parallel and not serial:
+            self._run_pooled(misses, outcomes, backend)
         else:
-            self._run_pooled(misses, outcomes)
+            backend.start(1)
+            for spec in misses:
+                outcomes[spec.content_hash()] = \
+                    self._run_serial(spec, backend)
 
     # -- execution ------------------------------------------------------
 
@@ -265,16 +297,49 @@ class Runner:
             attempt, previous_delay=previous_delay,
             rng=self.retry.attempt_rng(spec.content_hash(), attempt))
 
-    def _run_inline(self, spec: RunSpec) -> JobOutcome:
+    def _submit_attempt(self, backend, spec):
+        return backend.submit(
+            jobs_module.invoke, self.job_fn, spec, self.timeout,
+            *self._cache_args)
+
+    @staticmethod
+    def _error_envelope(error_type: str, message: str,
+                        wall_time: float = 0.0) -> dict:
+        return {"ok": False, "error_type": error_type,
+                "message": message, "traceback": "",
+                "wall_time": wall_time}
+
+    def _run_serial(self, spec: RunSpec, backend) -> JobOutcome:
+        """Drive one spec to a terminal state, one blocking attempt at
+        a time, through ``backend``."""
         self.metrics.queued -= 1
         self.metrics.running += 1
         failures: list[AttemptFailure] = []
         started = time.monotonic()
         last_delay: float | None = None
+        budget = sweep_deadline(self.timeout) if self.timeout else None
         for attempt in range(1, self.retry.max_attempts + 1):
             self.reporter.on_job_start(spec, attempt)
-            envelope = jobs_module.invoke(
-                self.job_fn, spec, self.timeout, *self._cache_args)
+            future = self._submit_attempt(backend, spec)
+            try:
+                envelope = future.result(timeout=budget)
+            except BrokenProcessPool:
+                backend.restart(1)
+                envelope = self._error_envelope(
+                    "BrokenProcessPool", "worker process died")
+            except concurrent.futures.TimeoutError:
+                # Wedged below Python: abandon the attempt (the worker
+                # keeps its slot until it returns) and fail fast.
+                future.cancel()
+                self.metrics.swept += 1
+                envelope = self._error_envelope(
+                    "JobTimeout",
+                    f"job missed its {self.timeout:g}s deadline "
+                    f"(pool sweep)",
+                    wall_time=time.monotonic() - started)
+            except BaseException as error:  # noqa: BLE001
+                envelope = self._error_envelope(
+                    type(error).__name__, str(error))
             if envelope["ok"]:
                 return self._finish_success(spec, envelope, attempt)
             failures.append(self._attempt_failure(envelope, attempt))
@@ -290,8 +355,8 @@ class Runner:
                 break
         return self._finish_failure(spec, failures, started)
 
-    def _run_pooled(self, misses, outcomes) -> None:
-        executor = self._new_executor(len(misses))
+    def _run_pooled(self, misses, outcomes, backend) -> None:
+        backend.start(len(misses))
         # future -> (spec, attempt, failures, started, last_delay)
         pending: dict = {}
         # future -> monotonic sweep deadline for that attempt
@@ -301,9 +366,7 @@ class Runner:
 
         def submit(spec, attempt, failures, started, last_delay):
             self.reporter.on_job_start(spec, attempt)
-            future = executor.submit(
-                jobs_module.invoke, self.job_fn, spec, self.timeout,
-                *self._cache_args)
+            future = self._submit_attempt(backend, spec)
             pending[future] = (spec, attempt, failures, started,
                                last_delay)
             if self.timeout:
@@ -326,107 +389,83 @@ class Runner:
                 outcomes[spec.content_hash()] = \
                     self._finish_failure(spec, failures, started)
 
-        try:
-            for spec in misses:
-                self.metrics.queued -= 1
-                self.metrics.running += 1
-                submit(spec, 1, [], time.monotonic(), None)
-            while pending or retry_at:
-                now = time.monotonic()
-                due = [entry for entry in retry_at if entry[0] <= now]
-                retry_at = [entry for entry in retry_at
-                            if entry[0] > now]
-                for (_, spec, attempt, failures, started,
-                     last_delay) in due:
-                    submit(spec, attempt, failures, started,
-                           last_delay)
-                if not pending:
-                    time.sleep(min(0.05,
-                                   max(0.0, retry_at[0][0] - now)))
+        for spec in misses:
+            self.metrics.queued -= 1
+            self.metrics.running += 1
+            submit(spec, 1, [], time.monotonic(), None)
+        while pending or retry_at:
+            now = time.monotonic()
+            due = [entry for entry in retry_at if entry[0] <= now]
+            retry_at = [entry for entry in retry_at
+                        if entry[0] > now]
+            for (_, spec, attempt, failures, started,
+                 last_delay) in due:
+                submit(spec, attempt, failures, started,
+                       last_delay)
+            if not pending:
+                time.sleep(min(0.05,
+                               max(0.0, retry_at[0][0] - now)))
+                continue
+            done, _ = concurrent.futures.wait(
+                pending, timeout=0.05,
+                return_when=concurrent.futures.FIRST_COMPLETED)
+            for future in done:
+                entry = pending.pop(future, None)
+                deadlines.pop(future, None)
+                if entry is None:
+                    # A pool break earlier in this batch already
+                    # cleared pending and resubmitted this job on
+                    # the fresh substrate (or the deadline sweep
+                    # abandoned it); the stale future carries
+                    # nothing we still need.
                     continue
-                done, _ = concurrent.futures.wait(
-                    pending, timeout=0.05,
-                    return_when=concurrent.futures.FIRST_COMPLETED)
-                for future in done:
-                    entry = pending.pop(future, None)
-                    deadlines.pop(future, None)
-                    if entry is None:
-                        # A pool break earlier in this batch already
-                        # cleared pending and resubmitted this job on
-                        # the fresh executor (or the deadline sweep
-                        # abandoned it); the stale future carries
-                        # nothing we still need.
-                        continue
-                    spec, attempt, failures, started, last_delay = \
-                        entry
-                    try:
-                        envelope = future.result()
-                    except BrokenProcessPool:
-                        # The worker died hard (SIGKILL, segfault,
-                        # os._exit).  Every sibling future on this
-                        # executor is poisoned; rebuild the pool and
-                        # resubmit the survivors.
-                        envelope = {
-                            "ok": False,
-                            "error_type": "BrokenProcessPool",
-                            "message": "worker process died",
-                            "traceback": "",
-                            "wall_time": 0.0,
-                        }
-                        executor.shutdown(wait=True,
-                                          cancel_futures=True)
-                        executor = self._new_executor(
-                            len(pending) + len(retry_at) + 1)
-                        survivors = list(pending.items())
-                        pending.clear()
-                        deadlines.clear()
-                        for _, (s_spec, s_attempt, s_failures,
-                                s_started, s_delay) in survivors:
-                            submit(s_spec, s_attempt, s_failures,
-                                   s_started, s_delay)
-                    except BaseException as error:  # noqa: BLE001
-                        envelope = {
-                            "ok": False,
-                            "error_type": type(error).__name__,
-                            "message": str(error),
-                            "traceback": "",
-                            "wall_time": 0.0,
-                        }
-                    if envelope["ok"]:
-                        outcomes[spec.content_hash()] = \
-                            self._finish_success(spec, envelope,
-                                                 attempt)
-                        continue
-                    resolve_failure(spec, attempt, failures, started,
-                                    last_delay, envelope)
-                # Deadline sweep: an attempt that outlived both the
-                # in-worker enforcement and the sweep margin is wedged
-                # below Python (C-level blocking); abandon its future
-                # -- the worker keeps its slot until it returns, but
-                # the job itself fails fast through the normal retry
-                # path instead of stalling the sweep forever.
-                for future in overdue_futures(pending, deadlines,
-                                              time.monotonic()):
-                    spec, attempt, failures, started, last_delay = \
-                        pending.pop(future)
-                    deadlines.pop(future, None)
-                    future.cancel()
-                    self.metrics.swept += 1
-                    resolve_failure(spec, attempt, failures, started,
-                                    last_delay, {
-                                        "ok": False,
-                                        "error_type": "JobTimeout",
-                                        "message":
-                                            f"job missed its "
-                                            f"{self.timeout:g}s "
-                                            f"deadline (pool sweep)",
-                                        "traceback": "",
-                                        "wall_time":
-                                            time.monotonic() - started,
-                                    })
-        finally:
-            executor.shutdown(wait=True, cancel_futures=True)
-
-    def _new_executor(self, width: int):
-        return concurrent.futures.ProcessPoolExecutor(
-            max_workers=max(1, min(self.jobs, width)))
+                spec, attempt, failures, started, last_delay = \
+                    entry
+                try:
+                    envelope = future.result()
+                except BrokenProcessPool:
+                    # The worker died hard (SIGKILL, segfault,
+                    # os._exit).  Every sibling future on this
+                    # substrate is poisoned; rebuild it and
+                    # resubmit the survivors.
+                    envelope = self._error_envelope(
+                        "BrokenProcessPool", "worker process died")
+                    backend.restart(len(pending) + len(retry_at) + 1)
+                    survivors = list(pending.items())
+                    pending.clear()
+                    deadlines.clear()
+                    for _, (s_spec, s_attempt, s_failures,
+                            s_started, s_delay) in survivors:
+                        submit(s_spec, s_attempt, s_failures,
+                               s_started, s_delay)
+                except BaseException as error:  # noqa: BLE001
+                    envelope = self._error_envelope(
+                        type(error).__name__, str(error))
+                if envelope["ok"]:
+                    outcomes[spec.content_hash()] = \
+                        self._finish_success(spec, envelope,
+                                             attempt)
+                    continue
+                resolve_failure(spec, attempt, failures, started,
+                                last_delay, envelope)
+            # Deadline sweep: an attempt that outlived both the
+            # in-worker enforcement and the sweep margin is wedged
+            # below Python (C-level blocking); abandon its future
+            # -- the worker keeps its slot until it returns, but
+            # the job itself fails fast through the normal retry
+            # path instead of stalling the sweep forever.
+            for future in overdue_futures(pending, deadlines,
+                                          time.monotonic()):
+                spec, attempt, failures, started, last_delay = \
+                    pending.pop(future)
+                deadlines.pop(future, None)
+                future.cancel()
+                self.metrics.swept += 1
+                resolve_failure(spec, attempt, failures, started,
+                                last_delay, self._error_envelope(
+                                    "JobTimeout",
+                                    f"job missed its "
+                                    f"{self.timeout:g}s "
+                                    f"deadline (pool sweep)",
+                                    wall_time=(time.monotonic()
+                                               - started)))

@@ -12,6 +12,7 @@ pusher -- subclasses :class:`Reporter` and overrides what it needs.
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -161,8 +162,13 @@ class JSONLReporter(Reporter):
     Every hook appends exactly one line (a single ``write`` of a
     ``\\n``-terminated object on an ``O_APPEND`` handle, so concurrent
     sweeps logging to the same file interleave whole lines, never
-    fragments).  The stream loads back with one ``json.loads`` per
-    line; each object carries ``event`` plus that hook's fields.
+    fragments), then flushes and fsyncs before returning: a worker
+    killed mid-run (SIGKILL, OOM) loses at most the line it was
+    writing, never an already-reported event.  The serve layer's SSE
+    replay-on-reconnect reads this same stream, so the durability
+    boundary is per event, not per process exit.  The stream loads
+    back with one ``json.loads`` per line; each object carries
+    ``event`` plus that hook's fields.
     """
 
     def __init__(self, path) -> None:
@@ -176,6 +182,8 @@ class JSONLReporter(Reporter):
                           separators=(",", ":")) + "\n"
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
 
     @staticmethod
     def _spec_fields(spec: RunSpec) -> dict:

@@ -1,0 +1,69 @@
+"""repro.serve: record/replay as a service.
+
+The serve layer turns the experiment runner into a long-lived,
+crash-consistent service:
+
+* :class:`JobQueue` -- write-ahead-journaled durable job queue; a
+  SIGKILL at any byte loses no accepted job and duplicates none
+  (:mod:`repro.serve.queue`);
+* :class:`ReproService` -- the transport-independent core wiring
+  queue, content-addressed cache, pluggable executor backend,
+  admission control and ``serve_*`` telemetry
+  (:mod:`repro.serve.service`);
+* :class:`ServeServer` -- stdlib asyncio HTTP front end with SSE
+  streaming of job transitions (:mod:`repro.serve.http`);
+* :class:`ServeClient` -- blocking client for the CLI and CI
+  (:mod:`repro.serve.client`);
+* :func:`build_job_spec` / :func:`execute_job_spec` -- the job-kind
+  registry mapping service requests onto runner specs and campaign
+  drivers (:mod:`repro.serve.kinds`);
+* :class:`AdmissionController` -- bounded queue depth, per-tenant
+  quotas, guard-budget job deadlines (:mod:`repro.serve.admission`).
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.serve.client import ServeClient
+from repro.serve.http import ServeServer, run_server
+from repro.serve.kinds import (
+    CAMPAIGN_KINDS,
+    JOB_KINDS,
+    RUNSPEC_KINDS,
+    CampaignSpec,
+    build_job_spec,
+    execute_job_spec,
+)
+from repro.serve.model import (
+    STATES,
+    TERMINAL_STATES,
+    Job,
+    JobStateError,
+)
+from repro.serve.queue import JobQueue, read_journal
+from repro.serve.service import ReproService
+from repro.serve.sse import EventLog, format_sse
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "CAMPAIGN_KINDS",
+    "CampaignSpec",
+    "EventLog",
+    "JOB_KINDS",
+    "Job",
+    "JobQueue",
+    "JobStateError",
+    "RUNSPEC_KINDS",
+    "ReproService",
+    "STATES",
+    "ServeClient",
+    "ServeServer",
+    "TERMINAL_STATES",
+    "build_job_spec",
+    "execute_job_spec",
+    "format_sse",
+    "read_journal",
+    "run_server",
+]

@@ -1,0 +1,152 @@
+"""Blocking HTTP client for the record/replay service.
+
+Built on :mod:`http.client` (stdlib, no dependency), one connection
+per call to match the server's ``Connection: close`` discipline.  The
+CLI's ``repro submit`` / ``repro jobs`` commands and the CI smoke test
+are the intended users; anything speaking JSON-over-HTTP works just as
+well without this module.
+
+Every error becomes a :class:`~repro.errors.ServeError` carrying the
+HTTP status (and the ``Retry-After`` hint on a 429 shed), so callers
+distinguish "malformed spec" from "come back later" without parsing
+message text.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.errors import ServeError
+from repro.serve.model import TERMINAL_STATES
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> dict:
+        payload = json.dumps(body).encode() if body is not None \
+            else None
+        headers = {"Content-Type": "application/json"} if payload \
+            else {}
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            try:
+                conn.request(method, path, body=payload,
+                             headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except OSError as error:
+                raise ServeError(
+                    f"cannot reach serve at {self.host}:{self.port}: "
+                    f"{error}") from error
+            try:
+                data = json.loads(raw.decode() or "{}")
+            except ValueError:
+                data = {"error": raw.decode(errors="replace")}
+            if response.status >= 400:
+                retry_after = float(
+                    response.headers.get("Retry-After", 0) or 0)
+                raise ServeError(
+                    data.get("error",
+                             f"HTTP {response.status} on {path}"),
+                    status=response.status, retry_after=retry_after)
+            return data
+        finally:
+            conn.close()
+
+    # -- API ------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, kind: str, params: dict | None = None,
+               tenant: str = "default") -> dict:
+        """Submit one job; returns the accepted job snapshot.
+
+        Raises :class:`ServeError` with ``status=429`` (and a
+        ``retry_after``) when the server sheds the request.
+        """
+        return self._request("POST", "/v1/jobs", {
+            "kind": kind, "params": params or {}, "tenant": tenant})
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, tenant: str | None = None,
+             state: str | None = None) -> list[dict]:
+        query = "&".join(f"{k}={v}" for k, v in
+                         (("tenant", tenant), ("state", state))
+                         if v is not None)
+        path = "/v1/jobs" + (f"?{query}" if query else "")
+        return self._request("GET", path)["jobs"]
+
+    def artifact(self, artifact_hash: str) -> dict:
+        return self._request("GET", f"/v1/artifacts/{artifact_hash}")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.25) -> dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    f"job {job_id} still {job['state']} after "
+                    f"{timeout:g}s")
+            time.sleep(poll)
+
+    def stream(self, job_id: str | None = None, after: int = 0,
+               timeout: float | None = None):
+        """Yield ``(event_id, data)`` SSE events as they arrive.
+
+        ``job_id=None`` follows the global feed (which never ends --
+        bound it with ``timeout``); a per-job stream ends when the
+        server closes it at the job's terminal transition.
+        """
+        path = (f"/v1/jobs/{job_id}/events" if job_id
+                else "/v1/events")
+        if after:
+            path += f"?after={after}"
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout if timeout is not None else self.timeout)
+        try:
+            try:
+                conn.request("GET", path)
+                response = conn.getresponse()
+            except OSError as error:
+                raise ServeError(
+                    f"cannot reach serve at {self.host}:{self.port}: "
+                    f"{error}") from error
+            if response.status >= 400:
+                raise ServeError(f"HTTP {response.status} on {path}",
+                                 status=response.status)
+            event_id = 0
+            for raw in response:
+                line = raw.decode().rstrip("\n").rstrip("\r")
+                if line.startswith("id:"):
+                    event_id = int(line[3:].strip())
+                elif line.startswith("data:"):
+                    yield event_id, json.loads(line[5:].strip())
+        finally:
+            conn.close()
+
+
+__all__ = ["ServeClient"]

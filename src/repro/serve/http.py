@@ -1,0 +1,323 @@
+"""Asyncio HTTP/1.1 front end for the record/replay service.
+
+Stdlib only (``asyncio.start_server`` + hand-rolled request parsing --
+no framework dependency), one short-lived connection per request
+(``Connection: close``) except the SSE streams, which stay open until
+the watched job reaches a terminal state (or forever, for the global
+feed).
+
+Routes::
+
+    GET  /healthz                 liveness + journal lsn
+    POST /v1/jobs                 submit {"kind", "params", "tenant"}
+                                  -> 202 job | 400 bad spec
+                                  -> 429 + Retry-After when shed
+    GET  /v1/jobs                 job listing (?tenant=&state=)
+    GET  /v1/jobs/<id>            one job snapshot
+    GET  /v1/jobs/<id>/events     SSE stream of that job's transitions
+    GET  /v1/events               SSE stream of every transition
+    GET  /v1/artifacts/<hash>     artifact fetch by content hash
+    GET  /v1/stats                queue/admission/cache/metrics census
+
+SSE event ids are journal log sequence numbers; reconnecting with
+``Last-Event-ID: N`` (or ``?after=N``) replays everything after N --
+including transitions journaled by a *previous* server process,
+because the event log is seeded from the recovered journal.
+
+Job execution happens on worker tasks (one per configured worker)
+that pull from the durable queue through ``asyncio.to_thread``, so a
+long simulation never blocks the accept loop: submissions, listings
+and streams stay responsive while jobs run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ConfigurationError
+from repro.serve.model import Job
+from repro.serve.queue import read_journal
+from repro.serve.service import ReproService
+from repro.serve.sse import EventLog, format_sse
+
+_MAX_BODY = 1 << 20  # 1 MiB: job submissions are tiny
+
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+def _json_body(status: int, payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+class ServeServer:
+    """Bind a :class:`ReproService` to a TCP port."""
+
+    def __init__(self, service: ReproService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.events: EventLog | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._workers: list[asyncio.Task] = []
+        self._stopping = asyncio.Event()
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, seed the event log, launch worker tasks."""
+        loop = asyncio.get_running_loop()
+        self.events = EventLog(loop)
+        # Seed from the full journal so SSE resume spans restarts,
+        # then attach live; the lsn guard in EventLog dedupes any
+        # transition that lands in between.
+        records, _ = read_journal(self.service.queue.journal_path)
+        for record in records:
+            self.events.seed(record["lsn"],
+                             Job.from_dict(record["job"]))
+        self.service.queue.subscribe(self.events.append)
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        for index in range(self.service.jobs):
+            self._workers.append(
+                loop.create_task(self._worker(index)))
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self.service.close()
+
+    async def _worker(self, index: int) -> None:
+        """Pull-and-run loop; the 20ms idle nap bounds poll cost."""
+        while not self._stopping.is_set():
+            job = await asyncio.to_thread(self.service.process_one)
+            if job is None:
+                await asyncio.sleep(0.02)
+
+    # -- request plumbing -----------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            await self._dispatch(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as error:  # noqa: BLE001 -- 500, not a crash
+            try:
+                await self._respond(writer, 500, {
+                    "error": f"{type(error).__name__}: {error}"})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, reader, writer) -> None:
+        request_line = (await reader.readline()).decode("latin-1")
+        if not request_line.strip():
+            return
+        try:
+            method, target, _version = request_line.split(None, 2)
+        except ValueError:
+            await self._respond(writer, 400,
+                                {"error": "malformed request line"})
+            return
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            await self._respond(writer, 413,
+                                {"error": "request body too large"})
+            return
+        body = await reader.readexactly(length) if length else b""
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        query = {key: values[-1] for key, values in
+                 parse_qs(parts.query).items()}
+        await self._route(writer, method.upper(), path, query,
+                          headers, body)
+
+    async def _respond(self, writer, status: int, payload: dict,
+                       extra_headers: dict | None = None) -> None:
+        body = _json_body(status, payload)
+        headers = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            headers.append(f"{name}: {value}")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode())
+        writer.write(body)
+        await writer.drain()
+
+    # -- routing --------------------------------------------------------
+
+    async def _route(self, writer, method, path, query, headers,
+                     body) -> None:
+        if path == "/healthz" and method == "GET":
+            await self._respond(writer, 200, {
+                "ok": True, "lsn": self.service.queue.lsn})
+            return
+        if path == "/v1/jobs":
+            if method == "POST":
+                await self._submit(writer, body)
+            elif method == "GET":
+                jobs = self.service.queue.jobs(
+                    tenant=query.get("tenant"),
+                    state=query.get("state"))
+                await self._respond(writer, 200, {
+                    "jobs": [job.as_dict() for job in jobs]})
+            else:
+                await self._respond(writer, 405,
+                                    {"error": "use GET or POST"})
+            return
+        if path.startswith("/v1/jobs/") and method == "GET":
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/events"):
+                await self._stream_job(writer, rest[:-len("/events")],
+                                       query, headers)
+            else:
+                job = self.service.queue.get(rest)
+                if job is None:
+                    await self._respond(writer, 404, {
+                        "error": f"no job {rest!r}"})
+                else:
+                    await self._respond(writer, 200, job.as_dict())
+            return
+        if path == "/v1/events" and method == "GET":
+            await self._stream_all(writer, query, headers)
+            return
+        if path.startswith("/v1/artifacts/") and method == "GET":
+            artifact_hash = path[len("/v1/artifacts/"):]
+            artifact = self.service.artifact(artifact_hash)
+            if artifact is None:
+                await self._respond(writer, 404, {
+                    "error": f"no artifact {artifact_hash[:12]}..."})
+            else:
+                await self._respond(writer, 200, artifact)
+            return
+        if path == "/v1/stats" and method == "GET":
+            await self._respond(writer, 200, self.service.stats())
+            return
+        await self._respond(writer, 404,
+                            {"error": f"no route {method} {path}"})
+
+    async def _submit(self, writer, body: bytes) -> None:
+        try:
+            request = json.loads(body.decode() or "{}")
+            if not isinstance(request, dict):
+                raise ValueError("body must be a JSON object")
+            kind = request.get("kind", "")
+            params = request.get("params") or {}
+            tenant = str(request.get("tenant") or "default")
+        except (ValueError, UnicodeDecodeError) as error:
+            await self._respond(writer, 400, {"error": str(error)})
+            return
+        try:
+            job, decision = await asyncio.to_thread(
+                self.service.submit, kind, params, tenant)
+        except ConfigurationError as error:
+            await self._respond(writer, 400, {"error": str(error)})
+            return
+        if job is None:
+            await self._respond(
+                writer, 429,
+                {"error": decision.reason,
+                 "retry_after": decision.retry_after},
+                extra_headers={
+                    "Retry-After":
+                        str(max(1, int(decision.retry_after + 0.5)))})
+            return
+        await self._respond(writer, 202, job.as_dict())
+
+    # -- SSE ------------------------------------------------------------
+
+    @staticmethod
+    def _after(query: dict, headers: dict) -> int:
+        raw = query.get("after") or headers.get("last-event-id") or "0"
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            return 0
+
+    async def _start_sse(self, writer) -> None:
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: text/event-stream\r\n"
+                     b"Cache-Control: no-cache\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+
+    async def _stream_job(self, writer, job_id: str, query,
+                          headers) -> None:
+        job = self.service.queue.get(job_id)
+        if job is None:
+            await self._respond(writer, 404,
+                                {"error": f"no job {job_id!r}"})
+            return
+        after = self._after(query, headers)
+        await self._start_sse(writer)
+        assert self.events is not None
+        async for lsn, data in self.events.stream(after):
+            if data["job"]["id"] != job_id:
+                continue
+            writer.write(format_sse(lsn, data))
+            await writer.drain()
+            if data["job"]["state"] in ("done", "failed"):
+                break
+
+    async def _stream_all(self, writer, query, headers) -> None:
+        after = self._after(query, headers)
+        await self._start_sse(writer)
+        assert self.events is not None
+        async for lsn, data in self.events.stream(after):
+            writer.write(format_sse(lsn, data))
+            await writer.drain()
+
+
+async def run_server(service: ReproService, host: str, port: int,
+                     ready_callback=None) -> None:
+    """Start a server and block forever (the ``repro serve`` body)."""
+    server = ServeServer(service, host, port)
+    await server.start()
+    if ready_callback is not None:
+        ready_callback(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+
+
+__all__ = ["ServeServer", "run_server"]

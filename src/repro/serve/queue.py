@@ -1,0 +1,302 @@
+"""Crash-consistent durable job queue.
+
+The queue is a write-ahead journal plus an in-memory index.  Every
+accepted job and every state transition appends one self-checking line
+to ``<data-dir>/queue.jsonl`` **before** the transition is
+acknowledged anywhere else (HTTP response, SSE event, worker pickup)::
+
+    <crc32 of payload, 8 hex chars> <payload JSON>\\n
+
+The payload is a full job snapshot (``{"lsn": N, "job": {...}}``), so
+recovery is *newest wins*: replay the journal, keep the last snapshot
+per job id.  Appends are single ``write`` calls on an ``O_APPEND``
+handle followed by flush + fsync -- the same durability discipline as
+:mod:`repro.guard.journal` -- so a SIGKILL at any byte leaves a
+journal whose longest valid prefix contains every acknowledged
+transition.  The CRC makes the torn tail detectable: recovery parses
+until the first bad line, truncates the file back to the good
+boundary, and continues from there.  Nothing acknowledged is ever
+lost; nothing is ever replayed twice into the index (newest-wins is
+idempotent).
+
+Jobs that were ``running`` when the process died are requeued (the
+state machine's one backward edge) with a fresh journaled snapshot:
+job execution is a pure function of a content-hashed spec, so the
+rerun either recomputes the same artifact or is answered by the cache
+entry the dead process already stored.
+
+Thread-safety: all mutation happens under one lock (HTTP accept loop
+and worker threads share the queue).  Each journaled transition also
+notifies registered observers -- the SSE event log rides on these.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from collections import deque
+from pathlib import Path
+
+from repro.serve.model import (
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    Job,
+    census,
+    job_id,
+)
+
+JOURNAL_NAME = "queue.jsonl"
+
+
+def _frame(payload: str) -> str:
+    """One journal line: crc32 guard + payload."""
+    return f"{zlib.crc32(payload.encode()):08x} {payload}\n"
+
+
+def _parse_line(line: str):
+    """Decode one journal line, or ``None`` if torn/corrupt."""
+    if not line.endswith("\n"):
+        return None  # torn tail: the write never completed
+    body = line[:-1]
+    if len(body) < 10 or body[8] != " ":
+        return None
+    crc_text, payload = body[:8], body[9:]
+    try:
+        if int(crc_text, 16) != zlib.crc32(payload.encode()):
+            return None
+        record = json.loads(payload)
+    except ValueError:
+        return None
+    if not isinstance(record, dict) or "job" not in record:
+        return None
+    return record
+
+
+def read_journal(path: Path) -> tuple[list[dict], int]:
+    """The journal's longest valid prefix.
+
+    Returns ``(records, good_bytes)`` where ``good_bytes`` is the file
+    offset of the first invalid line (= the truncation point).
+    Parsing stops at the first bad line: a torn write corrupts only
+    the suffix, never an interior record, because lines are appended
+    with single writes.
+    """
+    records: list[dict] = []
+    good = 0
+    try:
+        with open(path, "rb") as handle:
+            for raw in handle:
+                try:
+                    line = raw.decode("utf-8")
+                except UnicodeDecodeError:
+                    break  # corruption is data, not an exception
+                record = _parse_line(line)
+                if record is None:
+                    break
+                records.append(record)
+                good += len(raw)
+    except OSError:
+        return [], 0
+    return records, good
+
+
+class JobQueue:
+    """Durable FIFO of :class:`Job` with journaled transitions."""
+
+    def __init__(self, data_dir: str | os.PathLike) -> None:
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.data_dir / JOURNAL_NAME
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._ready: deque[str] = deque()
+        self._observers: list = []
+        self._lsn = 0
+        self._next_seq = 0
+        self.recovered_jobs = 0
+        self.requeued_jobs = 0
+        self.truncated_bytes = 0
+        self._recover()
+        self._handle = open(self.journal_path, "a",
+                            encoding="utf-8", newline="\n")
+
+    # -- journal --------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild state from the journal's valid prefix."""
+        records, good = read_journal(self.journal_path)
+        try:
+            size = self.journal_path.stat().st_size
+        except OSError:
+            size = 0
+        if good < size:
+            # Torn tail from a crash mid-append: cut it off so the
+            # next append starts on a clean line boundary.
+            self.truncated_bytes = size - good
+            with open(self.journal_path, "r+b") as handle:
+                handle.truncate(good)
+        requeue = []
+        for record in records:  # newest snapshot per id wins
+            job = Job.from_dict(record["job"])
+            self._jobs[job.id] = job
+            self._lsn = max(self._lsn, record.get("lsn", 0))
+            self._next_seq = max(self._next_seq, job.seq + 1)
+        for job in sorted(self._jobs.values(), key=lambda j: j.seq):
+            if job.state == STATE_QUEUED:
+                self._ready.append(job.id)
+            elif job.state == STATE_RUNNING:
+                requeue.append(job)
+        self.recovered_jobs = len(self._jobs)
+        # Requeues are journaled below, after the handle opens -- done
+        # lazily in start_recovered_jobs() so callers observe the
+        # crashed state first if they want to.
+        self._pending_requeue = requeue
+
+    def recover_running(self) -> list[Job]:
+        """Requeue jobs that were mid-execution at crash time.
+
+        Journals a fresh snapshot per requeued job and returns them.
+        Idempotent: a second call finds nothing running.
+        """
+        with self._lock:
+            requeued = []
+            for job in self._pending_requeue:
+                job.transition(STATE_QUEUED)
+                self._append(job)
+                self._ready.append(job.id)
+                requeued.append(job)
+                self.requeued_jobs += 1
+            self._pending_requeue = []
+        for job in requeued:
+            self._notify(job)
+        return requeued
+
+    def _append(self, job: Job) -> None:
+        """Journal ``job``'s current snapshot durably (lock held)."""
+        self._lsn += 1
+        payload = json.dumps({"lsn": self._lsn, "job": job.as_dict()},
+                             sort_keys=True, separators=(",", ":"))
+        self._handle.write(_frame(payload))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def _notify(self, job: Job) -> None:
+        for observer in list(self._observers):
+            observer(self._lsn, job)
+
+    def subscribe(self, observer) -> None:
+        """``observer(lsn, job)`` fires after each durable transition."""
+        self._observers.append(observer)
+
+    # -- operations -----------------------------------------------------
+
+    @property
+    def lsn(self) -> int:
+        """Last durable log sequence number (SSE event ids)."""
+        return self._lsn
+
+    def submit(self, tenant: str, kind: str, params: dict,
+               spec_hash: str, now: float) -> Job:
+        """Accept a new job: journal first, then enqueue."""
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            job = Job(id=job_id(seq, spec_hash), seq=seq,
+                      tenant=tenant, kind=kind, params=dict(params),
+                      spec_hash=spec_hash, submitted_at=now)
+            self._jobs[job.id] = job
+            self._append(job)
+            self._ready.append(job.id)
+        self._notify(job)
+        return job
+
+    def submit_resolved(self, tenant: str, kind: str, params: dict,
+                        spec_hash: str, now: float,
+                        artifact_hash: str) -> Job:
+        """Accept a job already answered by the cache: journal it
+        straight into ``done`` (the ``queued -> done`` edge)."""
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            job = Job(id=job_id(seq, spec_hash), seq=seq,
+                      tenant=tenant, kind=kind, params=dict(params),
+                      spec_hash=spec_hash, submitted_at=now,
+                      from_cache=True, artifact_hash=artifact_hash,
+                      finished_at=now)
+            job.transition(STATE_DONE)
+            self._jobs[job.id] = job
+            self._append(job)
+        self._notify(job)
+        return job
+
+    def claim(self, now: float) -> Job | None:
+        """Pop the next queued job and mark it running, durably."""
+        with self._lock:
+            while self._ready:
+                job = self._jobs[self._ready.popleft()]
+                if job.state != STATE_QUEUED:
+                    continue  # stale entry (requeue churn)
+                job.transition(STATE_RUNNING)
+                job.attempts += 1
+                job.started_at = now
+                self._append(job)
+                break
+            else:
+                return None
+        self._notify(job)
+        return job
+
+    def finish(self, job: Job, *, now: float,
+               artifact_hash: str | None = None,
+               error: str | None = None,
+               from_cache: bool = False) -> Job:
+        """Move a running job to its terminal state, durably."""
+        with self._lock:
+            job.finished_at = now
+            job.from_cache = job.from_cache or from_cache
+            if error is None:
+                job.artifact_hash = artifact_hash
+                job.transition(STATE_DONE)
+            else:
+                job.error = error
+                job.transition(STATE_FAILED)
+            self._append(job)
+        self._notify(job)
+        return job
+
+    # -- queries --------------------------------------------------------
+
+    def get(self, identifier: str) -> Job | None:
+        """Look up by job id."""
+        return self._jobs.get(identifier)
+
+    def jobs(self, tenant: str | None = None,
+             state: str | None = None) -> list[Job]:
+        """All jobs, optionally filtered, in acceptance order."""
+        with self._lock:
+            selected = sorted(self._jobs.values(),
+                              key=lambda j: j.seq)
+        if tenant is not None:
+            selected = [j for j in selected if j.tenant == tenant]
+        if state is not None:
+            selected = [j for j in selected if j.state == state]
+        return selected
+
+    def counts(self):
+        """Point-in-time state census (admission + gauges)."""
+        with self._lock:
+            return census(self._jobs.values())
+
+    def close(self) -> None:
+        """Release the journal handle (the journal itself persists)."""
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+
+__all__ = ["JOURNAL_NAME", "JobQueue", "read_journal"]

@@ -1,0 +1,309 @@
+"""The record/replay service: queue + cache + executor + telemetry.
+
+:class:`ReproService` is the transport-independent core behind
+``repro serve``.  It owns
+
+* the durable :class:`~repro.serve.queue.JobQueue` (accepted work
+  survives any crash),
+* the content-addressed :class:`~repro.runner.cache.ResultCache`
+  (identical submissions are answered without recomputation, and
+  artifacts are fetchable by hash),
+* a pluggable :class:`~repro.runner.executors.ExecutorBackend`
+  (inline for tests and tiny deployments, a process pool for real
+  parallelism -- byte-identical artifacts either way),
+* :class:`~repro.serve.admission.AdmissionController` (bounded depth,
+  per-tenant quotas, guard-budget job timeouts), and
+* ``serve_*`` telemetry on the shared
+  :class:`~repro.telemetry.metrics.MetricsRegistry` plus a ``serve``
+  Perfetto track on an optional
+  :class:`~repro.telemetry.tracer.Tracer`.
+
+Execution path: a claimed job's ``(kind, params)`` resolve to a
+content-hashed spec (:func:`~repro.serve.kinds.build_job_spec`), the
+spec runs through the runner's :func:`~repro.runner.jobs.invoke`
+envelope on the backend (same in-worker timeout and structured-failure
+semantics as a ``repro bench`` sweep), and the artifact lands in the
+cache before the job's terminal transition is journaled.  That
+write-artifact-then-journal order is what makes crash recovery safe:
+a job requeued after a crash either finds its artifact already cached
+(instant completion) or recomputes the same bytes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.guard.limits import Budgets
+from repro.runner import jobs as jobs_module
+from repro.runner.cache import ResultCache
+from repro.runner.executors import (
+    ExecutorBackend,
+    ProcessPoolBackend,
+    resolve_backend,
+)
+from repro.runner.pool import sweep_deadline
+from repro.serve.admission import (
+    DEFAULT_CAPACITY,
+    DEFAULT_TENANT_QUOTA,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.serve.kinds import build_job_spec, execute_job_spec
+from repro.serve.model import Job
+from repro.serve.queue import JobQueue
+from repro.telemetry.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+)
+from repro.telemetry.tracer import NULL_TRACER, Tracer
+
+
+class ReproService:
+    """Transport-independent service core (HTTP front end separate)."""
+
+    def __init__(self, data_dir, *,
+                 cache: ResultCache | None = None,
+                 executor: str | ExecutorBackend | None = None,
+                 jobs: int = 1,
+                 capacity: int = DEFAULT_CAPACITY,
+                 tenant_quota: int = DEFAULT_TENANT_QUOTA,
+                 budgets: Budgets | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None,
+                 job_fn=execute_job_spec) -> None:
+        self.queue = JobQueue(data_dir)
+        self.cache = cache if cache is not None else ResultCache()
+        self.jobs = max(1, int(jobs))
+        self._owns_backend = not isinstance(executor, ExecutorBackend)
+        if executor is None and self.jobs > 1 or executor == "process":
+            # The service host is threaded (asyncio loop + to_thread
+            # workers), and a plain fork from a threaded process can
+            # deadlock the child on locks frozen mid-operation.
+            # forkserver forks workers from a clean single-threaded
+            # broker instead (and unlike spawn needs no __main__
+            # re-import); where unavailable the platform default is
+            # already spawn.
+            method = ("forkserver" if "forkserver" in
+                      multiprocessing.get_all_start_methods() else None)
+            self.backend: ExecutorBackend = ProcessPoolBackend(
+                max_workers=self.jobs, mp_start_method=method)
+        else:
+            self.backend = resolve_backend(executor, self.jobs)
+        self.admission = AdmissionController(
+            capacity=capacity, tenant_quota=tenant_quota,
+            budgets=budgets, workers=self.jobs)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.job_fn = job_fn
+        self._epoch = time.perf_counter()
+
+        m = self.metrics
+        self._submitted = m.counter("serve_submitted")
+        self._admitted = m.counter("serve_admitted")
+        self._rejected = m.counter("serve_rejected")
+        self._served = m.counter("serve_served")
+        self._failed = m.counter("serve_failed")
+        self._cache_hits = m.counter("serve_cache_hits")
+        self._requeued = m.counter("serve_requeued")
+        self._depth = m.gauge("serve_queue_depth")
+        self._gauge_queued = m.gauge("serve_jobs_queued")
+        self._gauge_running = m.gauge("serve_jobs_running")
+        self._latency = m.histogram("serve_latency_seconds")
+        self._queue_wait = m.histogram("serve_queue_wait_seconds")
+
+        self.backend.start(self.jobs)
+        requeued = self.queue.recover_running()
+        self._requeued.inc(len(requeued))
+        self._update_gauges()
+
+    # -- helpers --------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.time()
+
+    def _elapsed(self) -> float:
+        """Seconds since service start (the serve track's clock)."""
+        return time.perf_counter() - self._epoch
+
+    def _update_gauges(self) -> None:
+        counts = self.queue.counts()
+        self._depth.set(counts.depth)
+        self._gauge_queued.set(counts.queued)
+        self._gauge_running.set(counts.running)
+
+    def _spec_for(self, job_or_kind, params=None):
+        if isinstance(job_or_kind, Job):
+            return build_job_spec(job_or_kind.kind, job_or_kind.params)
+        return build_job_spec(job_or_kind, params or {})
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, kind: str, params: dict | None = None,
+               tenant: str = "default"
+               ) -> tuple[Job | None, AdmissionDecision]:
+        """Accept (or shed) one submission.
+
+        Returns ``(job, decision)``; ``job`` is ``None`` exactly when
+        the decision sheds the request.  Raises
+        :class:`~repro.errors.ConfigurationError` on a malformed
+        spec -- the caller's 400, distinct from the 429 shed path.
+        """
+        params = dict(params or {})
+        spec = self._spec_for(kind, params)  # validates; may raise
+        self._submitted.inc()
+        cached = self.cache.load(spec)
+        if cached is not None:
+            # Answered without queue capacity or a worker: cached
+            # submissions are always admitted, never shed.
+            job = self.queue.submit_resolved(
+                tenant, kind, params, spec.content_hash(),
+                self._now(), artifact_hash=spec.content_hash())
+            self._admitted.inc()
+            self._cache_hits.inc()
+            self._served.inc()
+            self.tracer.instant("serve", f"cache-hit:{job.label()}",
+                                self._elapsed(), job=job.id)
+            self._update_gauges()
+            return job, AdmissionDecision(admitted=True,
+                                          reason="served from cache")
+        decision = self.admission.check(tenant, self.queue.counts())
+        if not decision.admitted:
+            self._rejected.inc()
+            return None, decision
+        job = self.queue.submit(tenant, kind, params,
+                                spec.content_hash(), self._now())
+        self._admitted.inc()
+        self._update_gauges()
+        return job, decision
+
+    # -- execution ------------------------------------------------------
+
+    def _run_job(self, job: Job) -> Job:
+        """Execute one claimed job to its terminal state."""
+        started = self._elapsed()
+        if job.started_at and job.submitted_at:
+            self._queue_wait.observe(
+                max(0.0, job.started_at - job.submitted_at))
+        spec = self._spec_for(job)
+        timeout = self.admission.job_timeout
+        envelope = None
+        try:
+            cached = self.cache.load(spec)
+            if cached is not None:
+                # A requeued job whose first life finished the work,
+                # or a duplicate spec completed since admission.
+                envelope = {"ok": True, "artifact": cached,
+                            "wall_time": 0.0, "from_cache": True}
+            else:
+                future = self.backend.submit(
+                    jobs_module.invoke, self.job_fn, spec, timeout,
+                    str(self.cache.root), self.cache.salt)
+                deadline = sweep_deadline(timeout) if timeout else None
+                envelope = future.result(timeout=deadline)
+        except FutureTimeout:
+            future.cancel()
+            envelope = {
+                "ok": False, "error_type": "JobTimeout",
+                "message": f"job missed its {timeout:g}s deadline "
+                           f"(serve sweep)",
+                "wall_time": timeout or 0.0}
+        except BrokenProcessPool:
+            self.backend.restart(self.jobs)
+            envelope = {
+                "ok": False, "error_type": "BrokenProcessPool",
+                "message": "worker process died mid-job",
+                "wall_time": 0.0}
+        except BaseException as error:  # noqa: BLE001 -- terminal state
+            envelope = {
+                "ok": False, "error_type": type(error).__name__,
+                "message": str(error), "wall_time": 0.0}
+        if envelope["ok"]:
+            artifact = envelope["artifact"]
+            if not envelope.get("from_cache"):
+                # Artifact before journal: recovery can then always
+                # trust a journaled "done" to have a fetchable result.
+                self.cache.store(spec, artifact)
+            self.queue.finish(
+                job, now=self._now(),
+                artifact_hash=spec.content_hash(),
+                from_cache=bool(envelope.get("from_cache")))
+            self._served.inc()
+        else:
+            self.queue.finish(
+                job, now=self._now(),
+                error=f"{envelope['error_type']}: "
+                      f"{envelope['message']}")
+            self._failed.inc()
+        elapsed = self._elapsed() - started
+        self._latency.observe(elapsed)
+        self.admission.observe_latency(elapsed)
+        self.tracer.span("serve", job.label(), started, elapsed,
+                         job=job.id, ok=envelope["ok"],
+                         from_cache=bool(envelope.get("from_cache")))
+        self._update_gauges()
+        return job
+
+    def process_one(self) -> Job | None:
+        """Claim and run the next queued job (worker loop body)."""
+        job = self.queue.claim(self._now())
+        if job is None:
+            return None
+        self._update_gauges()
+        return self._run_job(job)
+
+    def run_until_idle(self) -> int:
+        """Drain the queue synchronously; returns jobs processed.
+
+        The test and CLI convenience path (``repro submit --wait``
+        against an in-process service); the HTTP server runs
+        :meth:`process_one` from async worker tasks instead.
+        """
+        processed = 0
+        while self.process_one() is not None:
+            processed += 1
+        return processed
+
+    # -- queries --------------------------------------------------------
+
+    def artifact(self, artifact_hash: str) -> dict | None:
+        """Fetch a stored artifact by content hash."""
+        return self.cache.load_by_hash(artifact_hash)
+
+    def stats(self) -> dict:
+        """Service census: queue, admission, cache, serve_* metrics."""
+        serve_metrics = {
+            name: value for name, value in
+            self.metrics.as_dict().items()
+            if name.startswith("serve_")}
+        return {
+            "queue": self.queue.counts().as_dict(),
+            "journal": {
+                "lsn": self.queue.lsn,
+                "recovered_jobs": self.queue.recovered_jobs,
+                "requeued_jobs": self.queue.requeued_jobs,
+                "truncated_bytes": self.queue.truncated_bytes,
+            },
+            "admission": {
+                "capacity": self.admission.capacity,
+                "tenant_quota": self.admission.tenant_quota,
+                "job_timeout": self.admission.job_timeout,
+                "mean_latency": self.admission.mean_latency(),
+            },
+            "backend": {"name": self.backend.name,
+                        "parallel": self.backend.parallel,
+                        "workers": self.jobs},
+            "cache": self.cache.counters(),
+            "metrics": serve_metrics,
+        }
+
+    def close(self) -> None:
+        """Shut down the backend (if owned) and the journal handle."""
+        if self._owns_backend:
+            self.backend.shutdown(wait=True, cancel_futures=True)
+        self.queue.close()
+
+
+__all__ = ["ReproService"]

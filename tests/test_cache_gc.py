@@ -1,0 +1,169 @@
+"""Tests for ResultCache lifecycle management: last-access stamping,
+pinning, LRU garbage collection, and concurrent-writer safety."""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+
+from repro.core.modes import ExecutionMode
+from repro.runner import ResultCache, RunSpec
+from repro.runner.cache import encode_artifact
+
+SALT = "gc-test"
+
+
+def spec_for(seed: int) -> RunSpec:
+    return RunSpec.record("fft", ExecutionMode.ORDER_ONLY,
+                          scale=0.05, seed=seed)
+
+
+def artifact_for(spec: RunSpec, pad: int = 0) -> dict:
+    return {"schema": 1, "spec_hash": spec.content_hash(),
+            "payload": "x" * pad}
+
+
+def store_n(cache: ResultCache, count: int, pad: int = 0):
+    """Store ``count`` artifacts with strictly increasing mtimes."""
+    specs = []
+    base = time.time() - 1000
+    for index in range(count):
+        spec = spec_for(index)
+        path = cache.store(spec, artifact_for(spec, pad))
+        os.utime(path, (base + index, base + index))
+        specs.append(spec)
+    return specs
+
+
+class TestLastAccessStamping:
+    def test_load_restamps_mtime(self, tmp_path):
+        cache = ResultCache(tmp_path, salt=SALT)
+        spec = spec_for(1)
+        path = cache.store(spec, artifact_for(spec))
+        stale = time.time() - 5000
+        os.utime(path, (stale, stale))
+        cache.load(spec)
+        assert path.stat().st_mtime > stale + 4000
+
+    def test_recently_used_survives_lru_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path, salt=SALT)
+        specs = store_n(cache, 3, pad=100)
+        cache.load(specs[0])  # oldest on disk, freshest by access
+        size = cache.path_for(specs[0]).stat().st_size
+        report = cache.gc(max_bytes=size)
+        assert report.evicted == 2
+        assert cache.load(specs[0]) is not None
+        assert cache.load(specs[1]) is None
+        assert cache.load(specs[2]) is None
+
+
+class TestGC:
+    def test_lru_eviction_order(self, tmp_path):
+        cache = ResultCache(tmp_path, salt=SALT)
+        specs = store_n(cache, 4, pad=100)
+        size = cache.path_for(specs[0]).stat().st_size
+        report = cache.gc(max_bytes=2 * size)
+        assert report.evicted == 2
+        assert report.evicted_hashes == [
+            specs[0].content_hash(), specs[1].content_hash()]
+        assert report.remaining_bytes <= 2 * size
+
+    def test_max_age_evicts_idle_artifacts(self, tmp_path):
+        cache = ResultCache(tmp_path, salt=SALT)
+        spec_old, spec_new = spec_for(1), spec_for(2)
+        old_path = cache.store(spec_old, artifact_for(spec_old))
+        cache.store(spec_new, artifact_for(spec_new))
+        stale = time.time() - 7 * 86400
+        os.utime(old_path, (stale, stale))
+        report = cache.gc(max_age_seconds=86400)
+        assert report.evicted == 1
+        assert report.evicted_hashes == [spec_old.content_hash()]
+        assert cache.load(spec_new) is not None
+
+    def test_dry_run_changes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path, salt=SALT)
+        specs = store_n(cache, 3)
+        report = cache.gc(max_bytes=0, dry_run=True)
+        assert report.dry_run and report.evicted == 3
+        assert all(cache.load(spec) is not None for spec in specs)
+
+    def test_gc_counts_into_counters(self, tmp_path):
+        cache = ResultCache(tmp_path, salt=SALT)
+        store_n(cache, 2)
+        cache.gc(max_bytes=0)
+        assert cache.counters()["evictions"] == 2
+
+    def test_empty_cache_gc_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path, salt=SALT)
+        report = cache.gc(max_bytes=0)
+        assert report.scanned == 0 and report.evicted == 0
+
+
+class TestPins:
+    def test_pinned_artifact_survives_everything(self, tmp_path):
+        cache = ResultCache(tmp_path, salt=SALT)
+        spec = spec_for(1)
+        path = cache.store(spec, artifact_for(spec))
+        stale = time.time() - 7 * 86400
+        os.utime(path, (stale, stale))
+        cache.pin(spec.content_hash())
+        report = cache.gc(max_bytes=0, max_age_seconds=1)
+        assert report.evicted == 0 and report.pinned_kept == 1
+        assert cache.load(spec) is not None
+
+    def test_unpin_restores_evictability(self, tmp_path):
+        cache = ResultCache(tmp_path, salt=SALT)
+        spec = spec_for(1)
+        cache.store(spec, artifact_for(spec))
+        cache.pin(spec.content_hash())
+        assert cache.is_pinned(spec.content_hash())
+        cache.unpin(spec.content_hash())
+        assert not cache.is_pinned(spec.content_hash())
+        assert cache.gc(max_bytes=0).evicted == 1
+
+    def test_unpin_is_idempotent(self, tmp_path):
+        cache = ResultCache(tmp_path, salt=SALT)
+        cache.unpin("0" * 64)  # nothing pinned: no error
+
+    def test_stats_reports_pins(self, tmp_path):
+        cache = ResultCache(tmp_path, salt=SALT)
+        specs = store_n(cache, 3, pad=10)
+        cache.pin(specs[0].content_hash())
+        stats = cache.stats()
+        assert stats["artifacts"] == 3
+        assert stats["pinned"] == 1
+        assert stats["salts"][SALT]["artifacts"] == 3
+
+
+def _hammer_store(args):
+    """Worker: repeatedly store the same spec into a shared cache."""
+    root, salt, rounds = args
+    cache = ResultCache(root, salt=salt)
+    spec = spec_for(7)
+    artifact = artifact_for(spec, pad=5000)
+    for _ in range(rounds):
+        cache.store(spec, artifact)
+    return spec.content_hash()
+
+
+class TestConcurrentWriters:
+    def test_racing_stores_leave_one_clean_artifact(self, tmp_path):
+        """Multi-process writers racing on one spec: the artifact is
+        never torn and no temp files leak."""
+        workers = 4
+        with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+            hashes = list(pool.map(
+                _hammer_store,
+                [(str(tmp_path), SALT, 25)] * workers))
+        assert len(set(hashes)) == 1
+        cache = ResultCache(tmp_path, salt=SALT)
+        spec = spec_for(7)
+        artifact = cache.load(spec)
+        assert artifact == artifact_for(spec, pad=5000)
+        path = cache.path_for(spec)
+        assert path.read_bytes() == encode_artifact(artifact)
+        leftovers = [p for p in path.parent.iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+        assert cache.stats()["artifacts"] == 1

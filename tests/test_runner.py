@@ -146,7 +146,7 @@ class TestResultCache:
         loaded = cache.load(spec)
         assert loaded == artifact
         assert cache.counters() == {"hits": 1, "misses": 1,
-                                    "stores": 1}
+                                    "stores": 1, "evictions": 0}
         assert cache.hit_rate == 0.5
 
     def test_corrupt_artifact_is_dropped(self, tmp_path):

@@ -1,0 +1,279 @@
+"""End-to-end tests for the HTTP front end.
+
+Most tests run a real :class:`ServeServer` on an ephemeral port inside
+a background thread, with an injected instant ``job_fn`` so they stay
+fast.  The crash test at the bottom is the full acceptance scenario:
+a real ``python -m repro serve`` subprocess, SIGKILLed mid-campaign,
+restarted on the same data directory -- every accepted job must reach
+a terminal state exactly once with its artifact retrievable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServeError
+from repro.runner import ResultCache
+from repro.serve.client import ServeClient
+from repro.serve.http import ServeServer
+from repro.serve.service import ReproService
+from repro.telemetry.metrics import MetricsRegistry
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+def fake_job(spec, cache=None):
+    return {"schema": 1, "spec_hash": spec.content_hash(),
+            "kind": getattr(spec, "kind", "?"), "payload": "ok"}
+
+
+def make_service(tmp_path, **kwargs):
+    kwargs.setdefault("cache",
+                      ResultCache(tmp_path / "cache", salt="http-t"))
+    kwargs.setdefault("executor", "inline")
+    kwargs.setdefault("job_fn", fake_job)
+    kwargs.setdefault("metrics", MetricsRegistry())
+    return ReproService(tmp_path / "data", **kwargs)
+
+
+@contextmanager
+def running_server(service):
+    """A live server on an ephemeral port, torn down on exit."""
+    box: dict = {}
+    ready = threading.Event()
+
+    def run():
+        async def main():
+            stop = asyncio.Event()
+            server = ServeServer(service, "127.0.0.1", 0)
+            await server.start()
+            box["server"] = server
+            box["loop"] = asyncio.get_running_loop()
+            box["stop"] = stop
+            ready.set()
+            await stop.wait()
+            await server.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server did not start"
+    try:
+        yield box["server"]
+    finally:
+        box["loop"].call_soon_threadsafe(box["stop"].set)
+        thread.join(15)
+
+
+class TestEndpoints:
+    def test_submit_stream_fetch_roundtrip(self, tmp_path):
+        service = make_service(tmp_path)
+        with running_server(service) as server:
+            client = ServeClient(port=server.port)
+            assert client.health()["ok"]
+
+            job = client.submit("record", {"seed": 1, "scale": 0.05})
+            assert job["state"] in ("queued", "running", "done")
+            final = client.wait(job["id"], timeout=30)
+            assert final["state"] == "done"
+
+            # SSE: full per-job history, strictly ordered.
+            events = list(client.stream(job["id"]))
+            states = [data["job"]["state"] for _, data in events]
+            assert states == ["queued", "running", "done"]
+            ids = [event_id for event_id, _ in events]
+            assert ids == sorted(ids) and len(set(ids)) == len(ids)
+
+            # SSE resume: ?after=N replays only what follows N.
+            resumed = list(client.stream(job["id"], after=ids[0]))
+            assert [event_id for event_id, _ in resumed] == ids[1:]
+
+            # SSE resume via the Last-Event-ID header.
+            conn = http.client.HTTPConnection("127.0.0.1",
+                                              server.port, timeout=10)
+            conn.request("GET", f"/v1/jobs/{job['id']}/events",
+                         headers={"Last-Event-ID": str(ids[1])})
+            response = conn.getresponse()
+            assert response.getheader("Content-Type") == \
+                "text/event-stream"
+            header_ids = [int(line[3:])
+                          for line in response.read().decode()
+                          .splitlines() if line.startswith("id:")]
+            conn.close()
+            assert header_ids == ids[2:]
+
+            # Artifact fetch by content hash.
+            artifact = client.artifact(final["artifact_hash"])
+            assert artifact["spec_hash"] == final["artifact_hash"]
+
+            # Identical resubmission: answered from cache.
+            dup = client.submit("record", {"seed": 1, "scale": 0.05})
+            assert dup["state"] == "done" and dup["from_cache"]
+            assert dup["artifact_hash"] == final["artifact_hash"]
+            stats = client.stats()
+            assert stats["metrics"]["serve_cache_hits"] == 1
+            assert stats["queue"]["done"] == 2
+
+            # Listing filters.
+            assert len(client.jobs(state="done")) == 2
+            assert client.jobs(tenant="nobody") == []
+
+    def test_bad_submissions_get_400(self, tmp_path):
+        service = make_service(tmp_path)
+        with running_server(service) as server:
+            client = ServeClient(port=server.port)
+            with pytest.raises(ServeError) as err:
+                client.submit("record", {"warp": 9})
+            assert err.value.status == 400
+            with pytest.raises(ServeError) as err:
+                client.submit("dance", {})
+            assert err.value.status == 400
+
+    def test_unknown_resources_get_404(self, tmp_path):
+        service = make_service(tmp_path)
+        with running_server(service) as server:
+            client = ServeClient(port=server.port)
+            for call in (lambda: client.job("j999999-nope"),
+                         lambda: client.artifact("f" * 64)):
+                with pytest.raises(ServeError) as err:
+                    call()
+                assert err.value.status == 404
+
+    def test_flood_sheds_with_429_and_retry_after(self, tmp_path):
+        gate = threading.Event()
+
+        def gated_job(spec, cache=None):
+            gate.wait(15)
+            return fake_job(spec)
+
+        service = make_service(tmp_path, capacity=2,
+                               job_fn=gated_job)
+        with running_server(service) as server:
+            client = ServeClient(port=server.port)
+            first = client.submit("record", {"seed": 1})
+            second = client.submit("record", {"seed": 2})
+            with pytest.raises(ServeError) as err:
+                client.submit("record", {"seed": 3})
+            assert err.value.status == 429
+            assert err.value.retry_after >= 1.0
+            assert "queue full" in str(err.value)
+            gate.set()
+            assert client.wait(first["id"], timeout=30)["state"] == \
+                "done"
+            assert client.wait(second["id"], timeout=30)["state"] == \
+                "done"
+            stats = client.stats()
+            assert stats["metrics"]["serve_rejected"] == 1
+
+
+# -- the acceptance scenario: SIGKILL a real server mid-campaign ------
+
+
+def _serve_env(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR)
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    env["REPRO_CACHE_SALT"] = "kill-test"
+    return env
+
+
+def _start_serve(tmp_path, env):
+    ready = tmp_path / "ready"
+    if ready.exists():
+        ready.unlink()
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", "0", "--jobs", "1",
+         "--data-dir", str(tmp_path / "data"),
+         "--ready-file", str(ready)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT)
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if ready.exists() and ready.read_text().strip():
+            host, port = ready.read_text().split()
+            return proc, int(port)
+        if proc.poll() is not None:
+            break
+        time.sleep(0.1)
+    proc.kill()
+    raise AssertionError("serve subprocess never became ready")
+
+
+class TestCrashRecoveryOverHTTP:
+    def test_sigkill_mid_campaign_loses_nothing(self, tmp_path):
+        env = _serve_env(tmp_path)
+        proc, port = _start_serve(tmp_path, env)
+        try:
+            client = ServeClient(port=port, timeout=30)
+            submitted = [
+                client.submit("record", {"seed": seed, "scale": 0.08,
+                                         "app": "fft"})["id"]
+                for seed in (201, 202, 203)]
+
+            # Wait until the campaign is genuinely mid-flight.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                states = {j["id"]: j["state"] for j in client.jobs()}
+                if any(s in ("running", "done")
+                       for s in states.values()):
+                    break
+                time.sleep(0.05)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # Restart on the same data directory: recovery requeues the
+        # killed job and the workers drain the survivors.
+        proc, port = _start_serve(tmp_path, env)
+        try:
+            client = ServeClient(port=port, timeout=30)
+            deadline = time.monotonic() + 240
+            jobs = []
+            while time.monotonic() < deadline:
+                jobs = client.jobs()
+                if len(jobs) == 3 and \
+                        all(j["state"] in ("done", "failed")
+                            for j in jobs):
+                    break
+                time.sleep(0.5)
+
+            # Every accepted job reached a terminal state exactly
+            # once, none was lost, none was duplicated.
+            assert sorted(j["id"] for j in jobs) == sorted(submitted)
+            assert all(j["state"] == "done" for j in jobs), jobs
+            for job in jobs:
+                artifact = client.artifact(job["artifact_hash"])
+                assert artifact["spec_hash"] == job["artifact_hash"]
+
+            # The SSE log spans the restart: a fresh stream replays
+            # pre-crash transitions seeded from the journal.
+            events = list(client.stream(submitted[0]))
+            states = [data["job"]["state"] for _, data in events]
+            assert states[0] == "queued"
+            assert states[-1] == "done"
+            ids = [event_id for event_id, _ in events]
+            assert ids == sorted(ids) and len(set(ids)) == len(ids)
+
+            stats = client.stats()
+            assert stats["journal"]["recovered_jobs"] == 3
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
