@@ -3,7 +3,9 @@
 The ``__name__`` guard matters: the serve layer's process pools use
 the spawn/forkserver start methods, whose worker preparation imports
 the parent's main module.  Without the guard every worker would re-run
-the CLI instead of executing jobs.
+the CLI instead of executing jobs.  (``repro worker`` fleet processes
+are separate ``python -m repro`` invocations and take the normal
+path through the guard.)
 """
 
 import sys

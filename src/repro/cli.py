@@ -632,6 +632,13 @@ def _cmd_serve(args) -> int:
         budgets=Budgets(deadline_seconds=args.deadline),
         metrics=MetricsRegistry(),
         tracer=tracer,
+        auth_token=args.auth_token,
+        lease_ttl=args.lease_ttl,
+        max_lease_expiries=args.max_lease_expiries,
+        degraded_after=args.degraded_after,
+        segment_bytes=args.segment_bytes,
+        compact_after=args.compact_after,
+        retain_terminal=args.retain_terminal,
     )
     if service.queue.recovered_jobs:
         print(f"recovered {service.queue.recovered_jobs} job(s) from "
@@ -682,7 +689,24 @@ def _parse_job_params(pairs) -> dict:
 def _serve_client(args):
     from repro.serve.client import ServeClient
 
-    return ServeClient(args.host, args.port)
+    return ServeClient(args.host, args.port,
+                       token=getattr(args, "token", None))
+
+
+def _cmd_worker(args) -> int:
+    from repro.serve.worker import run_worker
+
+    run_worker(
+        args.host, args.port,
+        worker_id=args.worker_id,
+        token=args.token,
+        cache_root=args.cache_dir,
+        lease_ttl=args.lease_ttl,
+        poll_interval=args.poll,
+        max_jobs=args.max_jobs,
+        idle_exit=args.idle_exit,
+    )
+    return 0
 
 
 def _cmd_submit(args) -> int:
@@ -1085,10 +1109,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "runner's .repro-cache)")
     serve.add_argument("-j", "--jobs", type=int, default=1,
                        help="concurrent job workers (default 1)")
-    serve.add_argument("--executor", choices=["inline", "process"],
+    serve.add_argument("--executor",
+                       choices=["inline", "process", "remote"],
                        default=None,
                        help="execution backend (default: inline when "
-                            "--jobs 1, else a process pool)")
+                            "--jobs 1, else a process pool; 'remote' "
+                            "serves a repro worker fleet and falls "
+                            "back to a local pool while no worker "
+                            "heartbeats)")
     serve.add_argument("--capacity", type=int, default=64,
                        help="max jobs in flight before submissions "
                             "shed with 429 (default 64)")
@@ -1099,6 +1127,38 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="per-job wall-clock budget (guard "
                             "budget wiring; unset = unlimited)")
+    serve.add_argument("--auth-token", metavar="TOKEN",
+                       default=os.environ.get("REPRO_AUTH_TOKEN"),
+                       help="shared-secret bearer token required on "
+                            "submissions and all fleet calls "
+                            "(default $REPRO_AUTH_TOKEN; unset = "
+                            "open)")
+    serve.add_argument("--lease-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="worker lease TTL; a claimed job whose "
+                            "worker stops heartbeating this long is "
+                            "requeued (default 30)")
+    serve.add_argument("--max-lease-expiries", type=int, default=None,
+                       metavar="N",
+                       help="lease expiries before a job is declared "
+                            "poison and failed (default 3)")
+    serve.add_argument("--degraded-after", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with --executor remote: no worker "
+                            "heartbeat for this long degrades to the "
+                            "local fallback pool (default 15)")
+    serve.add_argument("--segment-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="rotate the queue journal at this size "
+                            "(default 4 MiB)")
+    serve.add_argument("--compact-after", type=int, default=None,
+                       metavar="N",
+                       help="compact the journal once this many "
+                            "sealed segments accumulate (default 4)")
+    serve.add_argument("--retain-terminal", type=int, default=None,
+                       metavar="N",
+                       help="compaction keeps at most this many "
+                            "done/failed jobs (default: all)")
     serve.add_argument("--ready-file", metavar="PATH", default=None,
                        help="write 'host port' here once listening "
                             "(handshake for --port 0)")
@@ -1111,6 +1171,39 @@ def build_parser() -> argparse.ArgumentParser:
     def add_client_options(p):
         p.add_argument("--host", default="127.0.0.1")
         p.add_argument("--port", type=int, default=8321)
+        p.add_argument("--token", metavar="TOKEN",
+                       default=os.environ.get("REPRO_AUTH_TOKEN"),
+                       help="bearer token for servers started with "
+                            "--auth-token (default $REPRO_AUTH_TOKEN)")
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a repro serve fleet: claim jobs under a lease, "
+             "heartbeat while executing, upload verified artifacts")
+    worker.add_argument("--worker-id", default=None, metavar="ID",
+                        help="stable worker name (default "
+                             "hostname-pid)")
+    worker.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="local artifact cache for dependency "
+                             "reuse (default: the runner's "
+                             ".repro-cache)")
+    worker.add_argument("--lease-ttl", type=float, default=None,
+                        metavar="SECONDS",
+                        help="ask for this lease TTL when claiming "
+                             "(default: the server's)")
+    worker.add_argument("--poll", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="idle delay between claim attempts "
+                             "(default 0.5)")
+    worker.add_argument("--max-jobs", type=int, default=None,
+                        metavar="N",
+                        help="exit after completing N jobs (tests/CI)")
+    worker.add_argument("--idle-exit", type=float, default=None,
+                        metavar="SECONDS",
+                        help="exit once the queue stays empty this "
+                             "long (tests/CI)")
+    add_client_options(worker)
+    worker.set_defaults(func=_cmd_worker)
 
     submit = sub.add_parser(
         "submit", help="submit one job to a running repro serve")

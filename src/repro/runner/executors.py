@@ -8,7 +8,7 @@ runner actually needs (start, submit, restart-after-crash, shutdown,
 and a parallelism flag) so the execution substrate is a constructor
 argument instead of a hard-coded class.
 
-Two backends ship today:
+Three backends ship today:
 
 * :class:`InlineBackend` -- ``submit`` runs the callable immediately
   in the calling process and returns an already-completed future.
@@ -19,18 +19,28 @@ Two backends ship today:
   that knows how to rebuild itself after a hard worker death
   (``BrokenProcessPool``), preserving the runner's crash-recovery
   semantics.
+* :class:`RemoteWorkerBackend` -- the serve tier's fleet substrate.
+  Remote ``repro worker`` processes pull jobs over HTTP rather than
+  having them pushed through ``submit``, so this backend's job is
+  fleet *liveness*: it tracks when each worker was last heard from
+  and answers :meth:`~RemoteWorkerBackend.degraded` -- and its
+  ``submit`` delegates to a local fallback backend, which is exactly
+  the graceful-degradation path (no worker heartbeating => the
+  service runs jobs locally through the same five operations).
 
 The contract that makes backends interchangeable: a job is a pure
 function of its :class:`~repro.runner.specs.RunSpec`, so the *same
 spec must produce byte-identical artifacts on every backend* (the
 ``encode_artifact`` determinism guard extends across substrates; see
-``tests/test_executors.py``).  A future remote-worker backend only has
-to honor the same five operations and the same envelope protocol.
+``tests/test_executors.py``).  The remote backend honors it too: an
+uploaded artifact is digest-verified against the parity contract
+before its terminal journal entry (see :mod:`repro.serve.service`).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import threading
 
 from repro.errors import ConfigurationError
 
@@ -139,10 +149,83 @@ class ProcessPoolBackend(ExecutorBackend):
             self._pool = None
 
 
+#: Never heard from a worker for this long => the fleet is degraded.
+DEFAULT_FLEET_WINDOW = 15.0
+
+
+class RemoteWorkerBackend(ExecutorBackend):
+    """Fleet liveness plus a local fallback for degraded operation.
+
+    Remote workers *pull* work (claim/heartbeat/complete over HTTP;
+    see :mod:`repro.serve.worker`), so nothing is ever pushed through
+    this backend while the fleet is healthy.  What the service needs
+    from the backend object is the degradation decision: every worker
+    contact lands in :meth:`touch_worker`, and when no worker has been
+    heard from within ``window`` seconds -- including "no worker ever
+    showed up" -- :meth:`degraded` flips true and the service's local
+    loop starts claiming jobs itself, executing them via ``submit``
+    on the ``fallback`` backend (inline or a process pool).  The
+    moment any worker calls in again the fleet is healthy and local
+    claiming stops.  Lifecycle calls pass through to the fallback so
+    the degraded path is always warm.
+    """
+
+    name = "remote"
+    parallel = True
+
+    def __init__(self, fallback: ExecutorBackend | None = None,
+                 window: float = DEFAULT_FLEET_WINDOW) -> None:
+        self.fallback = fallback or InlineBackend()
+        self.window = max(0.1, float(window))
+        self._lock = threading.Lock()
+        self._last_seen: dict[str, float] = {}
+
+    # -- fleet liveness ------------------------------------------------
+
+    def touch_worker(self, worker: str, now: float) -> None:
+        """Record contact (claim/heartbeat/complete) from a worker."""
+        with self._lock:
+            previous = self._last_seen.get(worker, 0.0)
+            self._last_seen[worker] = max(previous, now)
+
+    def workers(self, now: float) -> list[str]:
+        """Workers heard from within the window, sorted by name."""
+        cutoff = now - self.window
+        with self._lock:
+            return sorted(worker for worker, seen
+                          in self._last_seen.items()
+                          if seen >= cutoff)
+
+    def degraded(self, now: float) -> bool:
+        """True when no live worker exists and the local fallback
+        should claim jobs."""
+        cutoff = now - self.window
+        with self._lock:
+            return not any(seen >= cutoff
+                           for seen in self._last_seen.values())
+
+    # -- ExecutorBackend via the fallback ------------------------------
+
+    def start(self, width: int) -> None:
+        self.fallback.start(width)
+
+    def submit(self, fn, /, *args) -> concurrent.futures.Future:
+        """The degraded path: run locally on the fallback backend."""
+        return self.fallback.submit(fn, *args)
+
+    def restart(self, width: int) -> None:
+        self.fallback.restart(width)
+
+    def shutdown(self, wait: bool = True,
+                 cancel_futures: bool = False) -> None:
+        self.fallback.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+
 #: Named backend constructors (the ``--executor`` registry).
 BACKENDS = {
     "inline": InlineBackend,
     "process": ProcessPoolBackend,
+    "remote": RemoteWorkerBackend,
 }
 
 
@@ -166,13 +249,19 @@ def resolve_backend(executor, jobs: int) -> ExecutorBackend:
             + ", ".join(sorted(BACKENDS)) + ")") from None
     if factory is ProcessPoolBackend:
         return ProcessPoolBackend(max_workers=max(1, jobs))
+    if factory is RemoteWorkerBackend:
+        fallback = (ProcessPoolBackend(max_workers=max(1, jobs))
+                    if jobs > 1 else InlineBackend())
+        return RemoteWorkerBackend(fallback=fallback)
     return factory()
 
 
 __all__ = [
     "BACKENDS",
+    "DEFAULT_FLEET_WINDOW",
     "ExecutorBackend",
     "InlineBackend",
     "ProcessPoolBackend",
+    "RemoteWorkerBackend",
     "resolve_backend",
 ]

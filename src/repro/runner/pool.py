@@ -14,9 +14,11 @@ to a terminal state:
 4. **Execute** -- misses are submitted to a pluggable
    :class:`~repro.runner.executors.ExecutorBackend`:
    :class:`~repro.runner.executors.InlineBackend` (the serial
-   baseline, same code path for cache and retry) or
+   baseline, same code path for cache and retry),
    :class:`~repro.runner.executors.ProcessPoolBackend` (``jobs > 1``)
-   today, remote workers tomorrow.  Each attempt runs under a per-job
+   or :class:`~repro.runner.executors.RemoteWorkerBackend` (the serve
+   layer's lease-based worker fleet, with a local fallback pool it
+   degrades to when no worker heartbeats).  Each attempt runs under a per-job
    wall-clock timeout enforced *inside* the worker (SIGALRM on a unix
    main thread, an async-raise watchdog timer elsewhere), so a hung
    simulation turns into a structured timeout failure rather than a

@@ -24,6 +24,7 @@ Two hardening measures bound the worst case:
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 
 from repro.runner.specs import RunSpec
@@ -87,6 +88,40 @@ class RetryPolicy:
                     attempt: int) -> random.Random:
         """Deterministic jitter source for one (job, attempt)."""
         return random.Random(f"{spec_hash}:{attempt}")
+
+
+def retrying_call(fn, *, policy: RetryPolicy | None = None,
+                  seed: str = "call",
+                  retry_on: tuple = (Exception,),
+                  sleep=time.sleep, on_retry=None):
+    """Call ``fn()`` under ``policy`` with decorrelated-jitter backoff.
+
+    The network-call twin of the pool's per-job retry loop: every
+    worker<->server RPC goes through here so a flaky connection costs
+    jittered backoff, not a lost job.  ``seed`` keys the deterministic
+    jitter stream (pass something stable per logical call site);
+    ``retry_on`` limits which exception types are transient;
+    ``on_retry(attempt, delay, error)`` observes each backoff (worker
+    logging).  The final failure re-raises the last exception.
+    """
+    policy = policy or RetryPolicy()
+    started = time.monotonic()
+    previous_delay = None
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retry_on as error:
+            elapsed = time.monotonic() - started
+            if not policy.should_retry(attempt, elapsed):
+                raise
+            delay = policy.delay(attempt, previous_delay,
+                                 policy.attempt_rng(seed, attempt))
+            previous_delay = delay
+            if on_retry is not None:
+                on_retry(attempt, delay, error)
+            sleep(delay)
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,11 @@ crash-consistent service:
   registry mapping service requests onto runner specs and campaign
   drivers (:mod:`repro.serve.kinds`);
 * :class:`AdmissionController` -- bounded queue depth, per-tenant
-  quotas, guard-budget job deadlines (:mod:`repro.serve.admission`).
+  quotas, guard-budget job deadlines (:mod:`repro.serve.admission`);
+* :class:`ServeWorker` -- the ``repro worker`` fleet process pulling
+  jobs over the lease-based claim/heartbeat/complete wire protocol
+  (:mod:`repro.serve.worker`), with lease bookkeeping in
+  :mod:`repro.serve.lease`.
 """
 
 from repro.serve.admission import (
@@ -41,9 +45,15 @@ from repro.serve.model import (
     Job,
     JobStateError,
 )
-from repro.serve.queue import JobQueue, read_journal
+from repro.serve.lease import Lease, WorkerRegistry
+from repro.serve.queue import (
+    JobQueue,
+    read_journal,
+    read_journal_dir,
+)
 from repro.serve.service import ReproService
 from repro.serve.sse import EventLog, format_sse
+from repro.serve.worker import ServeWorker, run_worker
 
 __all__ = [
     "AdmissionController",
@@ -55,15 +65,20 @@ __all__ = [
     "Job",
     "JobQueue",
     "JobStateError",
+    "Lease",
     "RUNSPEC_KINDS",
     "ReproService",
     "STATES",
     "ServeClient",
     "ServeServer",
+    "ServeWorker",
     "TERMINAL_STATES",
+    "WorkerRegistry",
     "build_job_spec",
     "execute_job_spec",
     "format_sse",
     "read_journal",
+    "read_journal_dir",
     "run_server",
+    "run_worker",
 ]

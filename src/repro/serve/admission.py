@@ -17,12 +17,23 @@ executor's per-job timeout (enforced in-worker by
 so a job admitted under a budget cannot hold a worker hostage --
 admission bounds *how much* work enters, the guard budget bounds *how
 long* each admitted piece may take.
+
+Admission also owns the *scheduling* parameters.  ``priority`` and
+``deadline`` ride in the submission's ``params`` dictionary (so the
+CLI spelling is just ``--param priority=-1``), but they must **not**
+reach the spec: two submissions of the same work at different
+priorities are the same computation and must hash to the same cached
+artifact.  :func:`split_service_params` peels them off before spec
+validation; the queue stores them on the job itself (claim order is
+``(priority, enqueue LSN)``; a job past its deadline is failed at
+claim time with a typed reason instead of wasting a worker).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.guard.limits import Budgets
 from repro.serve.model import QueueCounts
 
@@ -32,6 +43,47 @@ DEFAULT_TENANT_QUOTA = 32
 
 #: Retry-After fallback when no latency has been observed yet.
 MIN_RETRY_AFTER = 1.0
+
+#: Scheduling parameters accepted on every kind and peeled off before
+#: spec validation/hashing (see the module docstring).
+SERVICE_PARAMS = ("priority", "deadline")
+
+
+def split_service_params(params: dict) -> tuple[dict, dict]:
+    """Separate scheduling parameters from spec parameters.
+
+    Returns ``(spec_params, schedule)`` where ``schedule`` is
+    ``{"priority": int, "deadline": float | None}``.  ``priority`` is
+    any integer, lower claims first, default 0; ``deadline`` is
+    seconds from submission (strictly positive) after which the job
+    is failed at claim time.  Raises
+    :class:`~repro.errors.ConfigurationError` on uncoercible values,
+    mirroring :func:`~repro.serve.kinds.validate_params` for the
+    parameters that module never sees.
+    """
+    spec_params = dict(params)
+    raw_priority = spec_params.pop("priority", 0)
+    raw_deadline = spec_params.pop("deadline", None)
+    try:
+        if isinstance(raw_priority, bool):
+            raise TypeError
+        priority = int(raw_priority)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"priority must be an integer, got {raw_priority!r}"
+        ) from None
+    deadline = None
+    if raw_deadline is not None:
+        try:
+            deadline = float(raw_deadline)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"deadline must be seconds (number), got "
+                f"{raw_deadline!r}") from None
+        if deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be positive seconds, got {deadline:g}")
+    return spec_params, {"priority": priority, "deadline": deadline}
 
 
 @dataclass
@@ -109,4 +161,6 @@ __all__ = [
     "DEFAULT_CAPACITY",
     "DEFAULT_TENANT_QUOTA",
     "MIN_RETRY_AFTER",
+    "SERVICE_PARAMS",
+    "split_service_params",
 ]

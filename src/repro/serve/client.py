@@ -23,15 +23,28 @@ from repro.serve.model import TERMINAL_STATES
 
 
 class ServeClient:
-    """Talk to one ``repro serve`` instance."""
+    """Talk to one ``repro serve`` instance.
+
+    ``token`` is the shared-secret bearer token; it rides every
+    request as ``Authorization: Bearer <token>`` (required by servers
+    started with ``--auth-token`` for submissions and all fleet
+    calls).
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8321,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 token: str | None = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.token = token or None
 
     # -- plumbing -------------------------------------------------------
+
+    def _auth_headers(self) -> dict:
+        if not self.token:
+            return {}
+        return {"Authorization": f"Bearer {self.token}"}
 
     def _request(self, method: str, path: str,
                  body: dict | None = None) -> dict:
@@ -39,6 +52,7 @@ class ServeClient:
             else None
         headers = {"Content-Type": "application/json"} if payload \
             else {}
+        headers.update(self._auth_headers())
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
@@ -98,6 +112,34 @@ class ServeClient:
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
 
+    # -- the fleet wire protocol (repro worker speaks these) ------------
+
+    def workers(self) -> dict:
+        """Fleet census: live workers, degradation, lease counts."""
+        return self._request("GET", "/v1/workers")
+
+    def claim(self, worker: str,
+              lease_ttl: float | None = None) -> dict:
+        """Claim one job under a lease; ``{"job": None}`` when idle."""
+        body = {"worker": worker}
+        if lease_ttl is not None:
+            body["lease_ttl"] = lease_ttl
+        return self._request("POST", "/v1/workers/claim", body)
+
+    def heartbeat(self, worker: str, job_id: str,
+                  lease_id: str) -> dict:
+        """Renew a lease; raises ``ServeError(status=409)`` if lost."""
+        return self._request("POST", "/v1/workers/heartbeat", {
+            "worker": worker, "job_id": job_id, "lease_id": lease_id})
+
+    def complete(self, worker: str, job_id: str, lease_id: str,
+                 envelope: dict,
+                 artifact_digest: str | None = None) -> dict:
+        """Upload one finished job's envelope for verification."""
+        return self._request("POST", "/v1/workers/complete", {
+            "worker": worker, "job_id": job_id, "lease_id": lease_id,
+            "envelope": envelope, "artifact_digest": artifact_digest})
+
     def wait(self, job_id: str, timeout: float = 300.0,
              poll: float = 0.25) -> dict:
         """Poll until the job reaches a terminal state."""
@@ -129,7 +171,8 @@ class ServeClient:
             timeout=timeout if timeout is not None else self.timeout)
         try:
             try:
-                conn.request("GET", path)
+                conn.request("GET", path,
+                             headers=self._auth_headers())
                 response = conn.getresponse()
             except OSError as error:
                 raise ServeError(

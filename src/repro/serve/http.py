@@ -17,37 +17,64 @@ Routes::
     GET  /v1/jobs/<id>/events     SSE stream of that job's transitions
     GET  /v1/events               SSE stream of every transition
     GET  /v1/artifacts/<hash>     artifact fetch by content hash
-    GET  /v1/stats                queue/admission/cache/metrics census
+    GET  /v1/stats                queue/fleet/admission/cache census
+    GET  /v1/workers              fleet census (liveness, leases)
+    POST /v1/workers/claim        {"worker"} -> job + lease | job:null
+    POST /v1/workers/heartbeat    {"worker","job_id","lease_id"}
+                                  -> lease | 409 lease lost
+    POST /v1/workers/complete     {"worker","job_id","lease_id",
+                                   "envelope","artifact_digest"}
+                                  -> verified completion | 409/404
+
+The worker endpoints are the fleet wire protocol (see
+:mod:`repro.serve.worker` for the peer).  When the service carries a
+shared-secret bearer token, submissions and every worker call must
+present ``Authorization: Bearer <token>`` -- compared constant-time,
+rejected 401 with no detail about which part was wrong.
 
 SSE event ids are journal log sequence numbers; reconnecting with
 ``Last-Event-ID: N`` (or ``?after=N``) replays everything after N --
 including transitions journaled by a *previous* server process,
-because the event log is seeded from the recovered journal.
+because the event log is seeded from every recovered journal segment.
+A cursor older than the journal's ``compacted_through`` LSN can no
+longer be resumed exactly (compaction dissolved those events) and is
+answered with the full retained snapshot instead of a silent gap.
 
 Job execution happens on worker tasks (one per configured worker)
 that pull from the durable queue through ``asyncio.to_thread``, so a
 long simulation never blocks the accept loop: submissions, listings
-and streams stay responsive while jobs run.
+and streams stay responsive while jobs run.  In fleet mode those
+tasks idle while remote workers are heartbeating and take over
+automatically when none is (graceful degradation); a once-a-second
+sweeper task expires abandoned leases either way.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hmac
 import json
+import signal
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ConfigurationError
+from repro.serve.lease import heartbeat_interval
 from repro.serve.model import Job
-from repro.serve.queue import read_journal
+from repro.serve.queue import read_journal_dir
 from repro.serve.service import ReproService
 from repro.serve.sse import EventLog, format_sse
 
 _MAX_BODY = 1 << 20  # 1 MiB: job submissions are tiny
 
+#: How often the server sweeps expired leases.
+SWEEP_INTERVAL = 1.0
+
 _STATUS_TEXT = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
+    200: "OK", 202: "Accepted", 400: "Bad Request",
+    401: "Unauthorized", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error",
 }
 
 
@@ -71,13 +98,14 @@ class ServeServer:
     # -- lifecycle ------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind, seed the event log, launch worker tasks."""
+        """Bind, seed the event log, launch worker + sweeper tasks."""
         loop = asyncio.get_running_loop()
-        self.events = EventLog(loop)
-        # Seed from the full journal so SSE resume spans restarts,
-        # then attach live; the lsn guard in EventLog dedupes any
-        # transition that lands in between.
-        records, _ = read_journal(self.service.queue.journal_path)
+        # Seed from every journal segment so SSE resume spans restarts
+        # (and compactions), then attach live; the lsn guard in
+        # EventLog dedupes any transition that lands in between.
+        records, compacted = read_journal_dir(
+            self.service.queue.data_dir)
+        self.events = EventLog(loop, compacted_through=compacted)
         for record in records:
             self.events.seed(record["lsn"],
                              Job.from_dict(record["job"]))
@@ -88,6 +116,7 @@ class ServeServer:
         for index in range(self.service.jobs):
             self._workers.append(
                 loop.create_task(self._worker(index)))
+        self._workers.append(loop.create_task(self._sweeper()))
 
     async def serve_forever(self) -> None:
         assert self._server is not None
@@ -114,6 +143,17 @@ class ServeServer:
             job = await asyncio.to_thread(self.service.process_one)
             if job is None:
                 await asyncio.sleep(0.02)
+
+    async def _sweeper(self) -> None:
+        """Expire abandoned leases and refresh the SSE compaction
+        horizon once a second."""
+        while not self._stopping.is_set():
+            await asyncio.sleep(SWEEP_INTERVAL)
+            await asyncio.to_thread(self.service.sweep_leases)
+            if self.events is not None:
+                self.events.compacted_through = max(
+                    self.events.compacted_through,
+                    self.service.queue.compacted_through)
 
     # -- request plumbing -----------------------------------------------
 
@@ -183,14 +223,38 @@ class ServeServer:
 
     # -- routing --------------------------------------------------------
 
+    def _authorized(self, headers: dict) -> bool:
+        """Constant-time bearer-token check (True when auth is off)."""
+        token = self.service.auth_token
+        if not token:
+            return True
+        provided = headers.get("authorization", "")
+        if provided[:7].lower() == "bearer ":
+            provided = provided[7:].strip()
+        return hmac.compare_digest(provided.encode(), token.encode())
+
+    async def _reject_unauthorized(self, writer) -> None:
+        # Deliberately detail-free: no hint whether the token was
+        # missing, malformed, or wrong.
+        await self._respond(writer, 401, {"error": "unauthorized"},
+                            extra_headers={"WWW-Authenticate":
+                                           "Bearer"})
+
     async def _route(self, writer, method, path, query, headers,
                      body) -> None:
         if path == "/healthz" and method == "GET":
             await self._respond(writer, 200, {
                 "ok": True, "lsn": self.service.queue.lsn})
             return
+        if path == "/v1/workers" or path.startswith("/v1/workers/"):
+            await self._route_workers(writer, method, path, headers,
+                                      body)
+            return
         if path == "/v1/jobs":
             if method == "POST":
+                if not self._authorized(headers):
+                    await self._reject_unauthorized(writer)
+                    return
                 await self._submit(writer, body)
             elif method == "GET":
                 jobs = self.service.queue.jobs(
@@ -261,6 +325,98 @@ class ServeServer:
             return
         await self._respond(writer, 202, job.as_dict())
 
+    # -- the fleet wire protocol ----------------------------------------
+
+    async def _route_workers(self, writer, method, path, headers,
+                             body) -> None:
+        """claim / heartbeat / complete / census -- all token-gated."""
+        if not self._authorized(headers):
+            await self._reject_unauthorized(writer)
+            return
+        if path == "/v1/workers" and method == "GET":
+            now = self.service._now()
+            fleet = self.service.fleet
+            await self._respond(writer, 200, {
+                "remote": fleet is not None,
+                "degraded": (fleet.degraded(now)
+                             if fleet is not None else False),
+                "workers": (fleet.workers(now)
+                            if fleet is not None else []),
+                "leases": self.service.queue.lease_census(now)})
+            return
+        if method != "POST":
+            await self._respond(writer, 405, {"error": "use POST"})
+            return
+        try:
+            request = json.loads(body.decode() or "{}")
+            if not isinstance(request, dict):
+                raise ValueError("body must be a JSON object")
+            worker = str(request.get("worker") or "")
+            if not worker:
+                raise ValueError("missing worker id")
+        except (ValueError, UnicodeDecodeError) as error:
+            await self._respond(writer, 400, {"error": str(error)})
+            return
+        action = path[len("/v1/workers/"):]
+        try:
+            if action == "claim":
+                await self._claim(writer, worker, request)
+            elif action == "heartbeat":
+                await self._heartbeat(writer, worker, request)
+            elif action == "complete":
+                await self._complete(writer, worker, request)
+            else:
+                await self._respond(writer, 404, {
+                    "error": f"no worker action {action!r}"})
+        except ConfigurationError as error:
+            # Not a fleet server (or a malformed request deeper in).
+            await self._respond(writer, 409, {"error": str(error)})
+
+    async def _claim(self, writer, worker: str, request) -> None:
+        lease_ttl = request.get("lease_ttl")
+        job, lease = await asyncio.to_thread(
+            self.service.claim_remote, worker,
+            float(lease_ttl) if lease_ttl else None)
+        if job is None:
+            await self._respond(writer, 200, {"job": None})
+            return
+        await self._respond(writer, 200, {
+            "job": job.as_dict(),
+            "lease": lease.as_dict(),
+            "heartbeat_interval": heartbeat_interval(lease.ttl),
+            "timeout": self.service.admission.job_timeout})
+
+    async def _heartbeat(self, writer, worker: str, request) -> None:
+        lease = await asyncio.to_thread(
+            self.service.heartbeat_remote, worker,
+            str(request.get("job_id") or ""),
+            str(request.get("lease_id") or ""))
+        if lease is None:
+            await self._respond(writer, 409, {"error": "lease lost"})
+            return
+        await self._respond(writer, 200, {"ok": True,
+                                          "lease": lease.as_dict()})
+
+    async def _complete(self, writer, worker: str, request) -> None:
+        envelope = request.get("envelope")
+        if not isinstance(envelope, dict):
+            await self._respond(writer, 400, {
+                "error": "completion needs an envelope object"})
+            return
+        result = await asyncio.to_thread(
+            self.service.complete_remote, worker,
+            str(request.get("job_id") or ""),
+            str(request.get("lease_id") or ""),
+            envelope, request.get("artifact_digest"))
+        status = result["status"]
+        if status == "unknown":
+            await self._respond(writer, 404, {
+                "error": "no such job", **result})
+        elif status in ("stale", "rejected"):
+            await self._respond(writer, 409, result)
+        else:  # ok | duplicate
+            await self._respond(writer, 200, result)
+
     # -- SSE ------------------------------------------------------------
 
     @staticmethod
@@ -307,16 +463,35 @@ class ServeServer:
 
 async def run_server(service: ReproService, host: str, port: int,
                      ready_callback=None) -> None:
-    """Start a server and block forever (the ``repro serve`` body)."""
+    """Start a server and block until cancelled or signalled.
+
+    SIGINT/SIGTERM handlers are installed on the event loop itself:
+    a server backgrounded by a non-interactive shell (CI smoke, an
+    init script) inherits SIGINT as ignored, which Python honors --
+    without these handlers a ``kill -INT`` would be silently dropped
+    and the process would only die to SIGKILL, skipping the graceful
+    drain below.
+    """
     server = ServeServer(service, host, port)
     await server.start()
     if ready_callback is not None:
         ready_callback(server)
+    loop = asyncio.get_running_loop()
+    task = asyncio.current_task()
+    hooked = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, task.cancel)
+            hooked.append(signum)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or non-unix: rely on the runner
     try:
         await server.serve_forever()
     except asyncio.CancelledError:
         pass
     finally:
+        for signum in hooked:
+            loop.remove_signal_handler(signum)
         await server.stop()
 
 

@@ -54,6 +54,12 @@ JOB_KINDS = RUNSPEC_KINDS + CAMPAIGN_KINDS
 #: optional except where :func:`build_job_spec` checks otherwise; an
 #: unknown parameter is rejected at admission so typos fail fast
 #: instead of silently hashing into a distinct (never-hit) cache key.
+#: Service-level scheduling parameters (``priority``, ``deadline``)
+#: never appear here: admission's
+#: :func:`~repro.serve.admission.split_service_params` strips them
+#: before validation, so they steer the queue without perturbing the
+#: spec's content hash (the same work at two priorities is still one
+#: cached artifact).
 _COMMON = {"app": str, "scale": float, "seed": int}
 _PARAMS = {
     "record": {**_COMMON, "mode": str, "chunk_size": int,

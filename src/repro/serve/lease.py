@@ -1,0 +1,133 @@
+"""Worker leases and fleet liveness for the serve tier.
+
+A remote worker never *owns* a job; it holds a **lease** on it: an
+opaque id granted at claim time together with a TTL the worker must
+keep renewing by heartbeat.  The grant is journaled with the claim
+transition (durable before the worker sees the job); renewals move the
+in-memory expiry only, because the journaled TTL is enough for
+recovery to re-arm the expiry clock -- a restarted server gives every
+leased job one full TTL for its worker to re-announce itself before
+the requeue sweep takes the job back.  The lease id is what makes
+completion exactly-once safe to *attempt* from anywhere: a stale
+worker's upload is recognized (its lease id no longer matches) and
+either accepted as a verified duplicate or refused, never double
+journaled.
+
+:class:`WorkerRegistry` is the fleet's liveness view: every claim,
+heartbeat, or completion touches the calling worker's clock, and the
+service asks :meth:`WorkerRegistry.degraded` before deciding whether
+its local fallback workers should claim jobs.  Degradation is a
+window, not a flag: the fleet is degraded exactly when no worker has
+been heard from within ``window`` seconds (including "never"), and it
+recovers automatically the moment any worker calls in again.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from dataclasses import dataclass
+
+#: Default lease TTL: a worker missing 3+ heartbeats loses the job.
+DEFAULT_LEASE_TTL = 30.0
+
+#: Heartbeats fire every ``ttl * HEARTBEAT_FRACTION`` seconds.
+HEARTBEAT_FRACTION = 1.0 / 3.0
+
+#: Lease expiries before a job is declared poison and failed.
+DEFAULT_MAX_LEASE_EXPIRIES = 3
+
+#: Seconds without any worker contact before the service degrades to
+#: its local fallback backend.
+DEFAULT_DEGRADED_AFTER = 15.0
+
+
+def new_lease_id() -> str:
+    """An unguessable opaque lease token."""
+    return secrets.token_hex(8)
+
+
+def heartbeat_interval(ttl: float) -> float:
+    """How often a worker should renew a lease of ``ttl`` seconds."""
+    return max(0.05, ttl * HEARTBEAT_FRACTION)
+
+
+@dataclass(frozen=True)
+class Lease:
+    """The wire form of one granted lease (claim/heartbeat replies)."""
+
+    job_id: str
+    worker: str
+    lease_id: str
+    ttl: float
+    expires_at: float
+
+    def as_dict(self) -> dict:
+        return {"job_id": self.job_id, "worker": self.worker,
+                "lease_id": self.lease_id, "ttl": self.ttl,
+                "expires_at": self.expires_at}
+
+    @classmethod
+    def for_job(cls, job) -> "Lease":
+        """Project a leased :class:`~repro.serve.model.Job`'s fields."""
+        return cls(job_id=job.id, worker=job.worker,
+                   lease_id=job.lease_id, ttl=job.lease_ttl or 0.0,
+                   expires_at=job.lease_expires_at or 0.0)
+
+
+class WorkerRegistry:
+    """Last-contact clock per worker and the degradation window.
+
+    Thread-safe: touched from HTTP handler threads, read from the
+    service's local worker tasks and the lease sweeper.
+    """
+
+    def __init__(self, window: float = DEFAULT_DEGRADED_AFTER) -> None:
+        self.window = max(0.1, float(window))
+        self._lock = threading.Lock()
+        self._last_seen: dict[str, float] = {}
+
+    def touch(self, worker: str, now: float) -> None:
+        """Record contact from ``worker`` at ``now``."""
+        with self._lock:
+            previous = self._last_seen.get(worker, 0.0)
+            self._last_seen[worker] = max(previous, now)
+
+    def alive(self, now: float) -> list[str]:
+        """Workers heard from within the window, sorted by name."""
+        cutoff = now - self.window
+        with self._lock:
+            return sorted(worker for worker, seen
+                          in self._last_seen.items() if seen >= cutoff)
+
+    def degraded(self, now: float) -> bool:
+        """True when no worker has been heard from within the window
+        (a fleet that never existed is degraded too)."""
+        cutoff = now - self.window
+        with self._lock:
+            return not any(seen >= cutoff
+                           for seen in self._last_seen.values())
+
+    def census(self, now: float) -> dict:
+        """Fleet stats: per-worker last-contact age and liveness."""
+        with self._lock:
+            snapshot = dict(self._last_seen)
+        workers = {
+            worker: {"last_seen_age": round(max(0.0, now - seen), 3),
+                     "alive": (now - seen) <= self.window}
+            for worker, seen in sorted(snapshot.items())}
+        return {"window": self.window,
+                "degraded": self.degraded(now),
+                "workers": workers}
+
+
+__all__ = [
+    "DEFAULT_DEGRADED_AFTER",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_MAX_LEASE_EXPIRIES",
+    "HEARTBEAT_FRACTION",
+    "Lease",
+    "WorkerRegistry",
+    "heartbeat_interval",
+    "new_lease_id",
+]

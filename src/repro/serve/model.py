@@ -7,24 +7,39 @@ a small state machine::
 
     queued ──> running ──> done
        │          │   └──> failed
-       │          └──> queued        (requeued after a server crash)
-       └─────────> done              (answered from the result cache)
+       │          └──> queued        (requeued after a server crash
+       │                              or an expired worker lease)
+       ├─────────> done              (answered from the result cache)
+       └─────────> failed            (deadline passed before claim,
+                                      or poison after repeated leases)
 
 ``done`` and ``failed`` are terminal.  The *only* backward edge is
 ``running -> queued``: a job that was mid-execution when the server
-died is requeued on recovery -- safe because every job kind is a pure
-function of its content-hashed spec and results land in the
-content-addressed cache, so re-execution is idempotent (at worst the
-rerun is answered by the artifact the dead server already stored).
+died -- or whose remote worker's lease expired -- is requeued, safe
+because every job kind is a pure function of its content-hashed spec
+and results land in the content-addressed cache, so re-execution is
+idempotent (at worst the rerun is answered by the artifact the dead
+process already stored).
+
+Remote execution attaches a *lease* to the ``running`` state: the
+claiming worker's identity, an opaque lease id, and an expiry the
+worker must keep renewing by heartbeat.  Lease fields are part of the
+journaled snapshot (the claim is durable before the worker sees the
+job); heartbeat renewals move the in-memory expiry only -- recovery
+re-arms a leased job's expiry from the journaled TTL, so a restarted
+server gives a still-live worker one full TTL to re-announce itself
+before requeueing.
 
 Jobs serialize to flat JSON dictionaries -- the durable queue journal
 appends full job snapshots (newest wins on recovery), and the same
 dictionaries travel the HTTP API and the SSE stream unchanged.
+:meth:`Job.from_dict` ignores unknown keys so older code can read a
+journal written by a newer schema's snapshots.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 from repro.errors import ConfigurationError
 
@@ -78,11 +93,44 @@ class Job:
     finished_at: float | None = None
     artifact_hash: str | None = None
     error: str | None = None
+    #: Scheduling: lower priorities claim first; ties break on seq.
+    priority: int = 0
+    #: Absolute wall-clock deadline; past it the job fails at claim
+    #: time instead of wasting a worker.
+    deadline_at: float | None = None
+    #: Remote-execution lease (None for locally executed jobs).
+    worker: str | None = None
+    lease_id: str | None = None
+    lease_expires_at: float | None = None
+    lease_ttl: float | None = None
+    #: How many leases on this job have expired (poison detection).
+    lease_expiries: int = 0
+    #: Structured terminal-failure record (deadline, poison, parity).
+    failure: dict | None = None
 
     @property
     def terminal(self) -> bool:
         """Whether the job has reached a final state."""
         return self.state in TERMINAL_STATES
+
+    @property
+    def leased(self) -> bool:
+        """Whether a remote worker currently holds this job."""
+        return self.state == STATE_RUNNING and self.lease_id is not None
+
+    def grant_lease(self, worker: str, lease_id: str, ttl: float,
+                    now: float) -> None:
+        """Attach a worker lease (call at the claim transition)."""
+        self.worker = worker
+        self.lease_id = lease_id
+        self.lease_ttl = ttl
+        self.lease_expires_at = now + ttl
+
+    def clear_lease(self) -> None:
+        """Drop the lease (requeue, completion, or poison)."""
+        self.lease_id = None
+        self.lease_expires_at = None
+        self.lease_ttl = None
 
     def transition(self, state: str) -> None:
         """Move to ``state``, enforcing the state machine."""
@@ -95,6 +143,7 @@ class Job:
         if state == STATE_QUEUED:  # the requeue edge
             self.requeues += 1
             self.started_at = None
+            self.clear_lease()
         self.state = state
 
     def label(self) -> str:
@@ -108,8 +157,14 @@ class Job:
 
     @classmethod
     def from_dict(cls, data: dict) -> "Job":
-        """Invert :meth:`as_dict` (journal recovery)."""
-        return cls(**data)
+        """Invert :meth:`as_dict` (journal recovery).
+
+        Unknown keys are dropped so a journal written by a newer
+        schema still recovers under this one.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items()
+                      if key in known})
 
 
 def job_id(seq: int, spec_hash: str) -> str:

@@ -14,6 +14,17 @@ Wire format (one frame per transition)::
     id: <lsn>\\n
     data: {"lsn": ..., "job": {...full job snapshot...}}\\n
     \\n
+
+Journal **compaction** complicates resume: compaction dissolves every
+individual transition with ``lsn <= compacted_through`` into one
+newest-wins snapshot per job, so after a restart those intermediate
+event ids no longer exist.  A client reconnecting with an ``after``
+older than ``compacted_through`` would see a *silent gap* -- events it
+never received are simply gone.  :meth:`EventLog.replay` therefore
+treats such a cursor as "too old to resume" and falls back to the full
+retained snapshot (``after = 0``): the client re-receives everything
+still known, which is exactly the newest state of every job, instead
+of missing transitions it cannot know it missed.
 """
 
 from __future__ import annotations
@@ -40,10 +51,15 @@ class EventLog:
     update.
     """
 
-    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+    def __init__(self, loop: asyncio.AbstractEventLoop,
+                 compacted_through: int = 0) -> None:
         self._loop = loop
         self._events: list[tuple[int, dict]] = []
         self._cond = asyncio.Condition()
+        #: Event ids at or below this LSN were dissolved by journal
+        #: compaction; resuming from older than this falls back to a
+        #: full snapshot (see the module docstring).
+        self.compacted_through = compacted_through
 
     def seed(self, lsn: int, job: Job) -> None:
         """Pre-loop insertion (journal recovery, before serving)."""
@@ -70,7 +86,15 @@ class EventLog:
         return self._events[-1][0] if self._events else 0
 
     def replay(self, after: int) -> list[tuple[int, dict]]:
-        """Everything already logged with id > ``after``."""
+        """Everything already logged with id > ``after``.
+
+        An ``after`` older than ``compacted_through`` cannot be
+        resumed from -- the events between it and the compaction
+        horizon no longer exist -- so it degrades to the full
+        retained snapshot rather than a silent gap.
+        """
+        if after and after < self.compacted_through:
+            after = 0
         return [(lsn, data) for lsn, data in self._events
                 if lsn > after]
 

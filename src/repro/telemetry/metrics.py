@@ -145,12 +145,16 @@ class MetricsRegistry:
     def __iter__(self):
         return iter(self._instruments.values())
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self, prefix: str | None = None) -> dict[str, float]:
         """Flat ``name -> value`` dump; histograms expand to
         ``name.count`` / ``name.sum`` / ``name.min`` / ``name.max`` /
-        ``name.mean`` sub-keys."""
+        ``name.mean`` sub-keys.  ``prefix`` keeps only instruments
+        whose name starts with it (one subsystem's slice, e.g.
+        ``serve_``)."""
         flat: dict[str, float] = {}
         for name in sorted(self._instruments):
+            if prefix is not None and not name.startswith(prefix):
+                continue
             instrument = self._instruments[name]
             if isinstance(instrument, Histogram):
                 for key, value in instrument.summary().items():
@@ -176,7 +180,7 @@ class NullMetricsRegistry(MetricsRegistry):
     def histogram(self, name: str) -> Histogram:
         return self._HISTOGRAM
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self, prefix: str | None = None) -> dict[str, float]:
         return {}
 
 

@@ -81,7 +81,7 @@ class TestResolveBackend:
             resolve_backend("quantum", 1)
 
     def test_registry_is_the_cli_surface(self):
-        assert set(BACKENDS) == {"inline", "process"}
+        assert set(BACKENDS) == {"inline", "process", "remote"}
 
 
 class TestProcessPoolLifecycle:

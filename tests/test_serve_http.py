@@ -179,6 +179,162 @@ class TestEndpoints:
             assert stats["metrics"]["serve_rejected"] == 1
 
 
+class TestAuthOverHTTP:
+    def test_writes_need_the_token_reads_stay_open(self, tmp_path):
+        service = make_service(tmp_path, executor="remote",
+                               auth_token="sekrit")
+        with running_server(service) as server:
+            anon = ServeClient(port=server.port)
+            assert anon.health()["ok"]  # reads are open
+            assert anon.jobs() == []
+
+            for call in (lambda: anon.submit("record", {"seed": 1}),
+                         lambda: anon.claim("w1"),
+                         lambda: anon.heartbeat("w1", "j", "l"),
+                         lambda: anon.complete("w1", "j", "l", {})):
+                with pytest.raises(ServeError) as err:
+                    call()
+                assert err.value.status == 401
+                # No detail leaks: not why, not what would match.
+                assert str(err.value) == "unauthorized"
+
+            wrong = ServeClient(port=server.port, token="skerit")
+            with pytest.raises(ServeError) as err:
+                wrong.submit("record", {"seed": 1})
+            assert err.value.status == 401
+
+            good = ServeClient(port=server.port, token="sekrit")
+            job = good.submit("record", {"seed": 1, "scale": 0.05})
+            assert good.wait(job["id"], timeout=30)["state"] == "done"
+
+
+class TestFleetWireProtocol:
+    def test_claim_heartbeat_complete_over_http(self, tmp_path):
+        import hashlib
+
+        from repro.runner.cache import encode_artifact
+        from repro.serve.kinds import build_job_spec
+
+        service = make_service(tmp_path, executor="remote")
+        with running_server(service) as server:
+            client = ServeClient(port=server.port)
+            # First contact marks the fleet live (and gates the local
+            # fallback) before anything is queued.
+            assert client.claim("w1")["job"] is None
+            census = client.workers()
+            assert census["remote"] and not census["degraded"]
+            assert census["workers"] == ["w1"]
+
+            submitted = client.submit(
+                "record", {"seed": 7, "scale": 0.05})
+            reply = client.claim("w1", lease_ttl=30.0)
+            job, lease = reply["job"], reply["lease"]
+            assert job["id"] == submitted["id"]
+            assert reply["heartbeat_interval"] == \
+                pytest.approx(10.0)
+
+            renewed = client.heartbeat("w1", job["id"],
+                                       lease["lease_id"])
+            assert renewed["ok"]
+            with pytest.raises(ServeError) as err:
+                client.heartbeat("w1", job["id"], "forged")
+            assert err.value.status == 409
+            assert "lease lost" in str(err.value)
+
+            spec = build_job_spec(job["kind"], job["params"])
+            artifact = fake_job(spec)
+            digest = hashlib.sha256(
+                encode_artifact(artifact)).hexdigest()
+            result = client.complete(
+                "w1", job["id"], lease["lease_id"],
+                {"ok": True, "artifact": artifact,
+                 "wall_time": 0.01}, digest)
+            assert result["status"] == "ok"
+            final = client.job(job["id"])
+            assert final["state"] == "done"
+            assert client.artifact(final["artifact_hash"]) == artifact
+
+    def test_worker_routes_409_outside_fleet_mode(self, tmp_path):
+        service = make_service(tmp_path)  # inline: no fleet
+        with running_server(service) as server:
+            client = ServeClient(port=server.port)
+            with pytest.raises(ServeError) as err:
+                client.claim("w1")
+            assert err.value.status == 409
+            assert "not running a remote worker fleet" in \
+                str(err.value)
+
+
+class TestCompactionResumeOverHTTP:
+    def test_sse_and_listing_survive_compaction(self, tmp_path):
+        """A cursor older than the compaction horizon gets the full
+        retained snapshot (no silent gap); listings are complete."""
+        submitted = []
+        service = make_service(tmp_path, segment_bytes=4096,
+                               compact_after=1)
+        with running_server(service) as server:
+            client = ServeClient(port=server.port)
+            for seed in range(20):
+                job = client.submit("record",
+                                    {"seed": seed, "scale": 0.05})
+                submitted.append(job["id"])
+            for job_id in submitted:
+                client.wait(job_id, timeout=60)
+        service.close()
+        assert service.queue.compactions >= 1
+
+        again = make_service(tmp_path, segment_bytes=4096,
+                             compact_after=1)
+        with running_server(again) as server:
+            client = ServeClient(port=server.port)
+            stats = client.stats()
+            horizon = stats["journal"]["compacted_through"]
+            assert horizon > 0
+
+            # The listing shows every job despite the dissolved
+            # per-transition history.
+            jobs = client.jobs()
+            assert sorted(j["id"] for j in jobs) == sorted(submitted)
+            assert all(j["state"] == "done" for j in jobs)
+
+            # Resume from inside the dissolved range: the feed falls
+            # back to the full snapshot -- events at or below the
+            # requested cursor ARE re-delivered.
+            full = _drain_events(server.port, after=0)
+            stale_cursor = _drain_events(server.port,
+                                         after=horizon - 1)
+            assert stale_cursor == full
+            assert any(event_id <= horizon - 1
+                       for event_id, _ in stale_cursor)
+
+            # A cursor at the tip resumes normally: nothing new.
+            tip = max(event_id for event_id, _ in full)
+            assert _drain_events(server.port, after=tip) == []
+        again.close()
+
+
+def _drain_events(port, after):
+    """Read the global SSE feed until it goes quiet; return events."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=1.0)
+    events = []
+    try:
+        conn.request("GET", f"/v1/events?after={after}")
+        response = conn.getresponse()
+        event_id = 0
+        for raw in response:
+            line = raw.decode().rstrip("\r\n")
+            if line.startswith("id:"):
+                event_id = int(line[3:].strip())
+            elif line.startswith("data:"):
+                events.append((event_id,
+                               json.loads(line[5:].strip())))
+    except (TimeoutError, OSError):
+        pass  # the feed never ends; quiet = drained
+    finally:
+        conn.close()
+    return events
+
+
 # -- the acceptance scenario: SIGKILL a real server mid-campaign ------
 
 

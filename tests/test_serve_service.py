@@ -95,6 +95,47 @@ class TestSubmitAndRun:
         service.close()
 
 
+class TestSchedulingParams:
+    """priority/deadline steer the queue without touching the spec."""
+
+    def test_priority_and_deadline_reach_the_job(self, tmp_path):
+        service = make_service(tmp_path)
+        job, decision = service.submit(
+            "record", {"seed": 1, "priority": 3, "deadline": 5.0})
+        assert decision.admitted
+        assert job.priority == 3
+        assert job.deadline_at == pytest.approx(
+            service._now() + 5.0, abs=1.0)
+        plain, _ = service.submit("record", {"seed": 2})
+        assert plain.priority == 0 and plain.deadline_at is None
+        service.close()
+
+    def test_bad_scheduling_values_rejected_before_admission(
+            self, tmp_path):
+        service = make_service(tmp_path)
+        with pytest.raises(ConfigurationError, match="priority"):
+            service.submit("record", {"seed": 1, "priority": "high"})
+        with pytest.raises(ConfigurationError, match="deadline"):
+            service.submit("record", {"seed": 1, "deadline": -1})
+        assert service.queue.counts().depth == 0
+        service.close()
+
+    def test_scheduling_params_do_not_perturb_the_spec_hash(
+            self, tmp_path):
+        """Same work at two priorities is still one cached artifact."""
+        service = make_service(tmp_path)
+        first, _ = service.submit(
+            "record", {"seed": 9, "priority": 7})
+        service.run_until_idle()
+        again, decision = service.submit(
+            "record", {"seed": 9, "priority": -2, "deadline": 60.0})
+        assert decision.reason == "served from cache"
+        assert again.from_cache
+        assert again.artifact_hash == \
+            service.queue.get(first.id).artifact_hash
+        service.close()
+
+
 class TestBackpressure:
     def test_flood_sheds_and_bounds_depth(self, tmp_path):
         """1000-submission flood: every request either admitted or
